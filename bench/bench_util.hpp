@@ -1,0 +1,65 @@
+#pragma once
+/// \file bench_util.hpp
+/// Shared helpers for the per-figure/per-table benchmark binaries.
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "edu/soc.hpp"
+#include "sim/workload.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace buscrypt::bench {
+
+/// Synthetic firmware image: word-aligned with the distribution real
+/// instruction streams show — a heavily skewed opcode (high) half and
+/// small, repetitive immediates (low half). The corpus every experiment
+/// installs.
+inline bytes firmware_image(std::size_t size, u64 seed) {
+  rng r(seed);
+  bytes img(size);
+  static constexpr u16 opcodes[] = {0xE592, 0xE583, 0x4770, 0xB510,
+                                    0x2000, 0xF000, 0x6800, 0x6001,
+                                    0xE1A0, 0xE3A0, 0xEB00, 0xE59F};
+  for (std::size_t off = 0; off + 4 <= size; off += 4) {
+    // Zipf-ish opcode pick: low indices far more common.
+    const u16 hi = opcodes[r.below(r.below(12) + 1)];
+    u16 lo;
+    if (r.chance(0.70)) lo = static_cast<u16>(r.below(256));       // small imm
+    else if (r.chance(0.5)) lo = static_cast<u16>(r.below(4096));  // offsets
+    else lo = static_cast<u16>(r.next_u32());                      // addresses
+    store_le32(&img[off], (u32{hi} << 16) | lo);
+  }
+  return img;
+}
+
+/// The default SoC geometry used across experiments (embedded-class).
+inline edu::soc_config default_soc() {
+  edu::soc_config cfg;
+  cfg.l1.size = 8 * 1024;
+  cfg.l1.line_size = 32;
+  cfg.l1.ways = 2;
+  cfg.mem_size = 8u << 20;
+  return cfg;
+}
+
+/// Build a SoC with \p kind, install \p image at 0 (and a zeroed data
+/// region at 1 MiB), run \p w, return the stats.
+inline sim::run_stats run_engine(edu::engine_kind kind, const sim::workload& w,
+                                 const bytes& image,
+                                 const edu::soc_config& cfg = default_soc()) {
+  edu::secure_soc soc(kind, cfg);
+  soc.load_image(0, image);
+  if (w.footprint > 0) soc.load_image(1 << 20, bytes(std::min<std::size_t>(w.footprint, 2u << 20), 0));
+  return soc.run(w);
+}
+
+/// Print a section header for a reproduced figure/table.
+inline void banner(const std::string& title, const std::string& paper_anchor) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces: %s)\n\n", paper_anchor.c_str());
+}
+
+} // namespace buscrypt::bench

@@ -1,0 +1,99 @@
+// E3 — Figure 3 + Section 3: Best's patents. "The block cipher chosen is
+// based on basic cryptographic functions such as mono and poly-alphabetic
+// substitutions and byte transpositions." We quantify why the field moved
+// to NIST ciphers: diffusion, statistical leakage, and the (cheap) cost.
+
+#include "bench_util.hpp"
+#include "attack/known_plaintext.hpp"
+#include "compress/entropy.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/best_cipher.hpp"
+#include "crypto/des.hpp"
+#include "crypto/modes.hpp"
+
+#include <chrono>
+
+namespace buscrypt {
+namespace {
+
+double avalanche_bits(const crypto::block_cipher& c, rng& r, int trials) {
+  const std::size_t bs = c.block_size();
+  double flipped = 0;
+  for (int i = 0; i < trials; ++i) {
+    bytes pt = r.random_bytes(bs);
+    bytes a(bs), b(bs);
+    c.encrypt_block(pt, a);
+    pt[r.below(bs)] ^= static_cast<u8>(1u << r.below(8));
+    c.encrypt_block(pt, b);
+    flipped += static_cast<double>(hamming_bits(a, b));
+  }
+  return flipped / trials;
+}
+
+double throughput_mbs(const crypto::block_cipher& c, rng& r) {
+  bytes buf = r.random_bytes(1 << 20);
+  const auto t0 = std::chrono::steady_clock::now();
+  crypto::ecb_encrypt(c, buf, buf);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return 1.0 / s; // MiB/s on 1 MiB
+}
+
+} // namespace
+} // namespace buscrypt
+
+int main() {
+  using namespace buscrypt;
+  rng r(3);
+  const crypto::best_cipher best(r.random_bytes(16));
+  const crypto::des des_c(r.random_bytes(8));
+  const crypto::triple_des tdes_c(r.random_bytes(24));
+  const crypto::aes aes_c(r.random_bytes(16));
+
+  bench::banner("Best's cipher vs NIST ciphers: diffusion and structure",
+                "Figure 3, Section 3 (patents [7][8][9] vs NIST [15])");
+
+  table t({"cipher", "block bits", "avalanche bits (ideal=half)", "sw MiB/s",
+           "ECB repeated blocks on constant 64 KiB"});
+  auto census = [&r](const crypto::block_cipher& c) {
+    bytes img(64 * 1024, 0x42);
+    bytes ct(img.size());
+    crypto::ecb_encrypt(c, img, ct);
+    return attack::analyze_ecb(ct, c.block_size()).repeated_blocks;
+  };
+  auto add = [&](const crypto::block_cipher& c) {
+    t.add_row({std::string(c.name()),
+               table::num(static_cast<unsigned long long>(c.block_size() * 8)),
+               table::num(avalanche_bits(c, r, 400), 1),
+               table::num(throughput_mbs(c, r), 1),
+               table::num(static_cast<unsigned long long>(census(c)))});
+  };
+  add(best);
+  add(des_c);
+  add(tdes_c);
+  add(aes_c);
+  std::fputs(t.str().c_str(), stdout);
+
+  std::printf(
+      "\nShape check: Best's substitution/transposition network flips ~4 of 64\n"
+      "bits (one byte) per input-bit change — no inter-byte mixing — while\n"
+      "DES/3DES/AES sit at half their block width. All ECB-mode ciphers leak\n"
+      "equal-block structure; the fix is chaining/tweaking, not the core.\n");
+
+  // Known-plaintext recovery against Best-ECB given partial knowledge.
+  bench::banner("Dictionary attack surface (known 25% of image)",
+                "Section 2.3 Class-II attacker, Section 2.2 ECB weakness");
+  table t2({"cipher (ECB over 8B/16B blocks)", "bytes recovered of 48 KiB unknown"});
+  bytes img = bench::firmware_image(64 * 1024, 9);
+  auto dict = [&](const crypto::block_cipher& c) {
+    bytes ct(img.size());
+    crypto::ecb_encrypt(c, img, ct);
+    return attack::ecb_dictionary_attack(ct, img, 0, 16 * 1024, c.block_size());
+  };
+  t2.add_row({"Best-STP", table::num(static_cast<unsigned long long>(dict(best)))});
+  t2.add_row({"DES", table::num(static_cast<unsigned long long>(dict(des_c)))});
+  t2.add_row({"AES-128", table::num(static_cast<unsigned long long>(dict(aes_c)))});
+  std::fputs(t2.str().c_str(), stdout);
+  std::printf("\n(Smaller blocks repeat more often; the dictionary recovers more.)\n");
+  return 0;
+}

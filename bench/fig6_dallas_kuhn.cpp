@@ -1,0 +1,96 @@
+// E6 — Figure 6 + Sections 2.3/3: the Dallas DS5002FP vs DS5240.
+// Kuhn's attack runs end-to-end against the byte cipher ("8-bit
+// instruction -> 256 possibilities ... dumped the external memory content
+// in clear form through the parallel-port"), and the work factors are
+// compared against the 64-bit DES upgrade.
+
+#include "bench_util.hpp"
+#include "attack/brute.hpp"
+#include "attack/kuhn.hpp"
+
+namespace buscrypt {
+namespace {
+
+void kuhn_end_to_end() {
+  bench::banner("Kuhn's cipher instruction search vs DS5002FP",
+                "Figure 6 + Section 2.3 (attack [6])");
+
+  rng r(6);
+  const crypto::byte_bus_cipher cipher(r.random_bytes(8), 16);
+  bytes mem(0x2000, 0);
+
+  const char* secret =
+      "PAY-TV CONTROL FIRMWARE v2.1 | SUBSCRIBER ENTITLEMENT KEY = 0x5EC7E7 ";
+  bytes victim(reinterpret_cast<const u8*>(secret),
+               reinterpret_cast<const u8*>(secret) + 70);
+  cipher.encrypt_range(0x400, victim, std::span<u8>(mem.data() + 0x400, 70));
+
+  attack::kuhn_attack atk(cipher, mem);
+  const attack::kuhn_result res = atk.execute(0x400, 70);
+
+  table t({"attack stage metric", "value"});
+  t.add_row({"decryption tables recovered",
+             table::num(static_cast<unsigned long long>(res.tables_recovered))});
+  t.add_row({"device resets (runs)",
+             table::num(static_cast<unsigned long long>(res.device_runs))});
+  t.add_row({"ciphertext bytes injected",
+             table::num(static_cast<unsigned long long>(res.bytes_written))});
+  t.add_row({"victim bytes dumped via parallel port",
+             table::num(static_cast<unsigned long long>(res.dumped.size()))});
+  t.add_row({"dump correct", res.success && res.dumped == victim ? "YES" : "no"});
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\nDumped (plaintext recovered without ever learning the key):\n  \"%.*s\"\n",
+              static_cast<int>(res.dumped.size()), res.dumped.data());
+}
+
+void work_factor_table() {
+  bench::banner("Work factor: 8-bit byte cipher vs 64-bit DES block",
+                "Figure 6: 'the 8-bit based ciphering passes to 64-bit'");
+  table t({"device", "cipher granularity", "candidates per location",
+           "attack strategy", "practical?"});
+  t.add_row({"DS5002FP (old)", "8-bit byte", "256",
+             "cipher instruction search", "yes - demonstrated above"});
+  t.add_row({"DS5240 (new)", "64-bit DES", "2^64",
+             "instruction search defeated; key search 2^56",
+             "no (see tab4 lifetimes)"});
+  std::fputs(t.str().c_str(), stdout);
+}
+
+void perf_comparison() {
+  bench::banner("Performance cost of the upgrade",
+                "Figure 6: byte cipher is free; DES blocks pay latency + RMW");
+  const bytes img = bench::firmware_image(256 * 1024, 41);
+  struct wl {
+    const char* name;
+    sim::workload w;
+  };
+  const std::vector<wl> workloads = {
+      {"sequential", sim::make_sequential_code(50'000, 192 * 1024, 0, 1)},
+      {"branchy-10%", sim::make_jumpy_code(50'000, 192 * 1024, 0.1, 2)},
+      {"write-heavy", sim::make_data_rw(35'000, 128 * 1024, 0.4, 0.6, 1, 3)},
+  };
+  table t({"workload", "DS5002FP-byte overhead", "DS5240-DES overhead"});
+  for (const auto& [name, w] : workloads) {
+    const auto base = bench::run_engine(edu::engine_kind::plaintext, w, img);
+    const auto old_rs = bench::run_engine(edu::engine_kind::dallas_byte, w, img);
+    const auto new_rs = bench::run_engine(edu::engine_kind::dallas_des, w, img);
+    t.add_row({name, table::pct(old_rs.slowdown_vs(base) - 1.0),
+               table::pct(new_rs.slowdown_vs(base) - 1.0)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf(
+      "\nShape check: the byte cipher is nearly free (combinational, byte-\n"
+      "granular, no read-modify-write) but trivially broken; the DES upgrade\n"
+      "buys 2^56 work at an iterative-core latency cost, worst on sub-block\n"
+      "writes. Security and performance trade exactly as the survey tells it.\n");
+}
+
+} // namespace
+} // namespace buscrypt
+
+int main() {
+  buscrypt::kuhn_end_to_end();
+  buscrypt::work_factor_table();
+  buscrypt::perf_comparison();
+  return 0;
+}

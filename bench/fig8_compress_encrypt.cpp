@@ -1,0 +1,129 @@
+// E8 — Figure 8 + Section 4: compression before encryption. Reproduces the
+// CodePack-class claims: performance within roughly +/-10% (fewer bus
+// beats vs decompressor latency), ~35% memory density gain, entropy
+// raised before the cipher, and the order dependence (compress-then-
+// encrypt works; encrypt-then-compress cannot).
+
+#include "bench_util.hpp"
+#include "compress/codepack.hpp"
+#include "compress/entropy.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lz77.hpp"
+#include "compress/rle.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/modes.hpp"
+#include "edu/compress_edu.hpp"
+
+namespace buscrypt {
+namespace {
+
+void density_and_perf() {
+  bench::banner("Compress+encrypt EDU: performance and density",
+                "Figure 8 + IBM CodePack [16]: '+/- 10%', '+35% density'");
+
+  const bytes img = bench::firmware_image(512 * 1024, 61);
+  table t({"workload", "Stream-OTP overhead", "Compress+OTP overhead",
+           "bus bytes vs raw", "density gain"});
+
+  struct wl {
+    const char* name;
+    sim::workload w;
+  };
+  const std::vector<wl> workloads = {
+      {"sequential", sim::make_sequential_code(60'000, 384 * 1024, 0, 1)},
+      {"branchy-5%", sim::make_jumpy_code(60'000, 384 * 1024, 0.05, 2)},
+      {"branchy-20%", sim::make_jumpy_code(60'000, 384 * 1024, 0.2, 3)},
+  };
+
+  for (const auto& [name, w] : workloads) {
+    const auto base = bench::run_engine(edu::engine_kind::plaintext, w, img);
+
+    edu::secure_soc raw_soc(edu::engine_kind::stream_otp, bench::default_soc());
+    raw_soc.load_image(0, img);
+    const u64 raw_before = raw_soc.external().bytes_read();
+    const auto raw_rs = raw_soc.run(w);
+    const u64 raw_bytes = raw_soc.external().bytes_read() - raw_before;
+
+    edu::secure_soc cz_soc(edu::engine_kind::compress_otp, bench::default_soc());
+    cz_soc.load_image(0, img);
+    const u64 cz_before = cz_soc.external().bytes_read();
+    const auto cz_rs = cz_soc.run(w);
+    const u64 cz_bytes = cz_soc.external().bytes_read() - cz_before;
+    const auto& ce = static_cast<edu::compress_edu&>(cz_soc.engine());
+
+    t.add_row({name, table::pct(raw_rs.slowdown_vs(base) - 1.0),
+               table::pct(cz_rs.slowdown_vs(base) - 1.0),
+               table::num(100.0 * static_cast<double>(cz_bytes) /
+                              static_cast<double>(raw_bytes),
+                          1) + "%",
+               table::pct(ce.density_gain())});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf(
+      "\nShape check: overhead sits in a narrow band around the plain-cipher\n"
+      "figure (CodePack's '+/- 10%%' experience) while bus traffic drops with\n"
+      "the compression ratio and the image shrinks ~25-40%%.\n");
+}
+
+void order_dependence() {
+  bench::banner("Compress-then-encrypt vs encrypt-then-compress",
+                "Section 4: 'The compression has to be done before ciphering'");
+  rng r(62);
+  const bytes img = bench::firmware_image(256 * 1024, 63);
+  const crypto::aes cipher(r.random_bytes(16));
+
+  const compress::lz77_codec lz;
+  const compress::huffman_codec huff;
+  const compress::rle_codec rle;
+  const compress::codepack_codec cp;
+
+  table t({"codec", "ratio: compress->encrypt", "ratio: encrypt->compress"});
+  for (const compress::codec* c :
+       std::initializer_list<const compress::codec*>{&rle, &huff, &lz, &cp}) {
+    // compress -> encrypt: the ciphertext size equals the compressed size.
+    const double good = c->ratio_on(img);
+    // encrypt -> compress: compressing the ciphertext.
+    bytes ct(img.size());
+    crypto::ctr_crypt(cipher, 99, 0, img, ct);
+    const double bad = c->ratio_on(ct);
+    t.add_row({std::string(c->name()), table::num(good, 3), table::num(bad, 3)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+}
+
+void entropy_ladder() {
+  bench::banner("Entropy along the pipeline",
+                "Section 4: 'compression increases the message entropy' and\n"
+                "'adds a layer of security'");
+  rng r(64);
+  const bytes img = bench::firmware_image(256 * 1024, 65);
+  const compress::huffman_codec huff;
+  const bytes packed = huff.compress(img);
+  const crypto::aes cipher(r.random_bytes(16));
+  bytes packed_ct(packed.size());
+  crypto::ctr_crypt(cipher, 7, 0, packed, packed_ct);
+  bytes plain_ct(img.size());
+  crypto::ctr_crypt(cipher, 7, 0, img, plain_ct);
+
+  table t({"stage", "shannon entropy (bits/byte)", "chi-square vs uniform"});
+  auto row = [&](const char* name, std::span<const u8> data) {
+    t.add_row({name, table::num(compress::shannon_entropy(data), 3),
+               table::num(compress::chi_square(data), 0)});
+  };
+  row("plaintext code", img);
+  row("compressed", std::span<const u8>(packed).subspan(260));
+  row("compressed+encrypted", packed_ct);
+  row("encrypted only", plain_ct);
+  std::fputs(t.str().c_str(), stdout);
+  return;
+}
+
+} // namespace
+} // namespace buscrypt
+
+int main() {
+  buscrypt::density_and_perf();
+  buscrypt::order_dependence();
+  buscrypt::entropy_ladder();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// T2 — cipher-core table: measured software throughput (google-benchmark)
+// alongside the modeled hardware figures the survey quotes (XOM's 14-cycle
+// pipelined AES at 1/cycle, AEGIS's 300k gates, Gilmont's pipelined 3-DES).
+
+#include "bench_util.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/best_cipher.hpp"
+#include "crypto/des.hpp"
+#include "crypto/lfsr.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/rc4.hpp"
+#include "crypto/toy_cipher.hpp"
+#include "edu/timing.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace buscrypt {
+namespace {
+
+template <typename Cipher>
+void block_throughput(benchmark::State& state, const Cipher& c) {
+  rng r(1);
+  bytes buf = r.random_bytes(64 * 1024);
+  for (auto _ : state) {
+    crypto::ecb_encrypt(c, buf, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(buf.size()));
+}
+
+void stream_throughput(benchmark::State& state, crypto::stream_cipher& c) {
+  bytes buf(64 * 1024);
+  for (auto _ : state) {
+    c.keystream(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(buf.size()));
+}
+
+void print_hw_model_table() {
+  using namespace edu;
+  bench::banner("Modeled hardware cores (figures quoted by the survey)",
+                "Section 3: XOM 14-cycle AES @ 1/cycle; AEGIS 300k gates;\n"
+                "Gilmont pipelined 3-DES; DS5002FP combinational byte cipher");
+  table t({"core", "block", "latency (cyc)", "initiation interval", "gates",
+           "cyc per 32B line (parallel)", "cyc per 32B line (chained)"});
+  for (const pipeline_model& m :
+       {aes_pipelined(), aes_iterative(), des_iterative(), tdes_pipelined(),
+        tdes_iterative(), best_combinational(), byte_combinational(),
+        stream_generator()}) {
+    const std::size_t blocks = m.blocks_for(32);
+    t.add_row({std::string(m.name),
+               table::num(static_cast<unsigned long long>(m.block_bytes)) + " B",
+               table::num(static_cast<unsigned long long>(m.latency)),
+               table::num(static_cast<unsigned long long>(m.interval)),
+               table::num(static_cast<unsigned long long>(m.gates)),
+               table::num(static_cast<unsigned long long>(m.time_parallel(blocks))),
+               table::num(static_cast<unsigned long long>(m.time_chained(blocks)))});
+  }
+  std::fputs(t.str().c_str(), stdout);
+}
+
+} // namespace
+} // namespace buscrypt
+
+int main(int argc, char** argv) {
+  using namespace buscrypt;
+  print_hw_model_table();
+
+  bench::banner("Software cipher throughput (functional models)",
+                "T2 right half — google-benchmark");
+  rng r(2);
+  static const crypto::aes aes128(r.random_bytes(16));
+  static const crypto::aes aes256(r.random_bytes(32));
+  static const crypto::des des_c(r.random_bytes(8));
+  static const crypto::triple_des tdes_c(r.random_bytes(24));
+  static const crypto::best_cipher best_c(r.random_bytes(16));
+  static crypto::rc4 rc4_c(r.random_bytes(16));
+  static crypto::galois_lfsr lfsr_c(r.random_bytes(8), r.random_bytes(8));
+  static crypto::trivium trivium_c(r.random_bytes(10), r.random_bytes(10));
+
+  benchmark::RegisterBenchmark("ECB/AES-128",
+                               [](benchmark::State& s) { block_throughput(s, aes128); });
+  benchmark::RegisterBenchmark("ECB/AES-256",
+                               [](benchmark::State& s) { block_throughput(s, aes256); });
+  benchmark::RegisterBenchmark("ECB/DES",
+                               [](benchmark::State& s) { block_throughput(s, des_c); });
+  benchmark::RegisterBenchmark("ECB/3DES",
+                               [](benchmark::State& s) { block_throughput(s, tdes_c); });
+  benchmark::RegisterBenchmark("ECB/Best-STP",
+                               [](benchmark::State& s) { block_throughput(s, best_c); });
+  benchmark::RegisterBenchmark("stream/RC4",
+                               [](benchmark::State& s) { stream_throughput(s, rc4_c); });
+  benchmark::RegisterBenchmark("stream/LFSR-64",
+                               [](benchmark::State& s) { stream_throughput(s, lfsr_c); });
+  benchmark::RegisterBenchmark("stream/Trivium",
+                               [](benchmark::State& s) { stream_throughput(s, trivium_c); });
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

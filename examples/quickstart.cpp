@@ -1,0 +1,75 @@
+// Quickstart: protect an external memory with a bus-encryption engine,
+// execute a workload, and watch what a bus probe sees.
+//
+//   $ ./quickstart
+//
+// Walks the library's three layers in ~60 lines of user code:
+//   1. assemble a secure SoC (CPU + cache + EDU + bus + DRAM),
+//   2. install a firmware image through the engine's encrypt path,
+//   3. run a workload and compare against the unprotected baseline.
+
+#include "attack/probe.hpp"
+#include "common/hex.hpp"
+#include "common/table.hpp"
+#include "edu/soc.hpp"
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace buscrypt;
+
+int main() {
+  // --- 1. a firmware image worth protecting -------------------------------
+  rng r(1);
+  bytes firmware = r.random_bytes(64 * 1024);
+  const char* secret = "CONFIDENTIAL: license check at 0x4242, master key follows";
+  for (std::size_t i = 0; i < 58; ++i) firmware[1024 + i] = static_cast<u8>(secret[i]);
+
+  // --- 2. two SoCs: unprotected vs XOM-style pipelined AES EDU ------------
+  edu::soc_config cfg;           // 8 KiB 2-way L1, 32 B lines, 8 MiB DRAM
+  cfg.l1.size = 8 * 1024;
+  cfg.mem_size = 8u << 20;
+
+  edu::secure_soc plain(edu::engine_kind::plaintext, cfg);
+  edu::secure_soc secure(edu::engine_kind::xom_aes, cfg);
+  plain.load_image(0, firmware);
+  secure.load_image(0, firmware); // installed through the AES engine
+
+  // --- 3. probe both buses, run the same workload -------------------------
+  sim::recording_probe probe_plain, probe_secure;
+  plain.attach_probe(probe_plain);
+  secure.attach_probe(probe_secure);
+
+  const sim::workload w = sim::make_jumpy_code(50'000, 64 * 1024, 0.08, 7);
+  const sim::run_stats rs_plain = plain.run(w);
+  const sim::run_stats rs_secure = secure.run(w);
+
+  // --- results -------------------------------------------------------------
+  // The attacker reassembles an image from the recorded beats, then greps.
+  const bytes needle(reinterpret_cast<const u8*>(secret),
+                     reinterpret_cast<const u8*>(secret) + 20);
+  auto bus_shows_secret = [&needle](const sim::recording_probe& p) {
+    const bytes seen = attack::reconstruct_from_probe(p, 64 * 1024);
+    return std::search(seen.begin(), seen.end(), needle.begin(), needle.end()) !=
+           seen.end();
+  };
+
+  table t({"system", "CPI", "slowdown", "secret visible on bus?"});
+  t.add_row({"no protection", table::num(rs_plain.cpi(), 2), "1.00x",
+             bus_shows_secret(probe_plain) ? "YES - probe reads it" : "no"});
+  t.add_row({"XOM-AES EDU", table::num(rs_secure.cpi(), 2),
+             table::num(rs_secure.slowdown_vs(rs_plain), 2) + "x",
+             bus_shows_secret(probe_secure) ? "YES" : "no - ciphertext only"});
+  std::fputs(t.str().c_str(), stdout);
+
+  std::printf("\nDRAM contents at the secret's address (attacker's view):\n");
+  std::printf("-- unprotected --\n%s",
+              hexdump(std::span<const u8>(plain.memory().raw()).subspan(1024, 64), 1024).c_str());
+  std::printf("-- XOM-AES EDU --\n%s",
+              hexdump(std::span<const u8>(secure.memory().raw()).subspan(1024, 64), 1024).c_str());
+
+  std::printf("\nThe trusted side still computes on plaintext: read-back %s.\n",
+              secure.read_back(0, firmware.size()) == firmware ? "matches" : "FAILED");
+  return 0;
+}

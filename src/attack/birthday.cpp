@@ -1,0 +1,33 @@
+#include "attack/birthday.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace buscrypt::attack {
+
+u64 draws_until_collision(rng& r, unsigned bits) {
+  const u64 mask = bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1;
+  std::unordered_set<u64> seen;
+  for (u64 draws = 1;; ++draws) {
+    const u64 v = r.next_u64() & mask;
+    if (!seen.insert(v).second) return draws;
+  }
+}
+
+double expected_birthday_draws(unsigned bits) {
+  return std::sqrt(3.14159265358979323846 / 2.0 *
+                   std::pow(2.0, static_cast<double>(bits)));
+}
+
+double counter_collision_draws(unsigned bits) {
+  return std::pow(2.0, static_cast<double>(bits)) + 1.0;
+}
+
+double mean_draws_until_collision(rng& r, unsigned bits, unsigned trials) {
+  double sum = 0.0;
+  for (unsigned t = 0; t < trials; ++t)
+    sum += static_cast<double>(draws_until_collision(r, bits));
+  return trials == 0 ? 0.0 : sum / trials;
+}
+
+} // namespace buscrypt::attack

@@ -1,0 +1,28 @@
+#pragma once
+/// \file birthday.hpp
+/// The birthday attack the survey raises against AEGIS's IV scheme: with a
+/// b-bit *random* vector in the IV, two lines collide after ~sqrt(2^b)
+/// writes, leaking XOR relations between plaintexts; replacing the random
+/// vector by a *counter* removes collisions entirely until wrap-around.
+
+#include "common/rng.hpp"
+
+#include <vector>
+
+namespace buscrypt::attack {
+
+/// Monte-Carlo: draw uniformly random \p bits-bit nonces until one repeats.
+/// Returns the number of draws at the first collision.
+[[nodiscard]] u64 draws_until_collision(rng& r, unsigned bits);
+
+/// Analytic expectation of draws_until_collision: ~ sqrt(pi/2 * 2^bits).
+[[nodiscard]] double expected_birthday_draws(unsigned bits);
+
+/// Counter nonces: first collision happens exactly at 2^bits + 1 draws
+/// (wrap); returned for the comparison table.
+[[nodiscard]] double counter_collision_draws(unsigned bits);
+
+/// Repeated Monte-Carlo mean over \p trials runs.
+[[nodiscard]] double mean_draws_until_collision(rng& r, unsigned bits, unsigned trials);
+
+} // namespace buscrypt::attack

@@ -1,0 +1,72 @@
+#include "attack/brute.hpp"
+
+#include "crypto/des.hpp"
+
+#include <cmath>
+
+namespace buscrypt::attack {
+
+double brute_force_model::years_to_exhaust(unsigned key_bits) const {
+  // Keys searched by time t (years), with rate r0 * 2^(t/T):
+  //   K(t) = r0 * T' * (2^(t/T) - 1) / ln 2,  T' = T in seconds.
+  // Solve K(t) = 2^bits for t.
+  const double seconds_per_year = 365.25 * 24 * 3600;
+  const double t_double_years = doubling_months / 12.0;
+  const double t_double_seconds = t_double_years * seconds_per_year;
+  const double target = std::pow(2.0, static_cast<double>(key_bits));
+  const double ln2 = std::log(2.0);
+
+  // 2^(t/T) = 1 + target * ln2 / (r0 * T_seconds)
+  const double arg = 1.0 + target * ln2 / (keys_per_second * t_double_seconds);
+  return t_double_years * std::log2(arg);
+}
+
+std::vector<lifetime_row> lifetime_table(const brute_force_model& model,
+                                         std::span<const unsigned> key_bits) {
+  std::vector<lifetime_row> rows;
+  rows.reserve(key_bits.size());
+  for (unsigned bits : key_bits) {
+    const double years = model.years_expected(bits);
+    rows.push_back({bits, years, years > 10.0});
+  }
+  return rows;
+}
+
+u64 brute_force_des_reduced(std::span<const u8> known_key8, unsigned unknown_bits,
+                            std::span<const u8> plain8, std::span<const u8> cipher8) {
+  if (known_key8.size() != 8 || plain8.size() != 8 || cipher8.size() != 8 ||
+      unknown_bits > 30)
+    return 0;
+
+  bytes key(known_key8.begin(), known_key8.end());
+  const u64 limit = u64{1} << unknown_bits;
+  std::array<u8, 8> out{};
+  for (u64 guess = 0; guess < limit; ++guess) {
+    // Overlay exactly unknown_bits guessed bits onto the low bytes of the
+    // key, preserving everything else. DES ignores each byte's parity bit
+    // (bit 0), so the guess occupies 7 data bits per byte, low bytes first.
+    u64 g = guess;
+    unsigned remaining = unknown_bits;
+    for (std::size_t byte_idx = 0; remaining > 0 && byte_idx < 8; ++byte_idx) {
+      const unsigned take = remaining < 7 ? remaining : 7;
+      const u8 field_mask = static_cast<u8>(((1u << take) - 1) << 1);
+      const u8 field = static_cast<u8>((g & ((1u << take) - 1)) << 1);
+      key[7 - byte_idx] =
+          static_cast<u8>((known_key8[7 - byte_idx] & ~field_mask) | field);
+      g >>= take;
+      remaining -= take;
+    }
+    const crypto::des candidate(key);
+    candidate.encrypt_block(plain8, out);
+    bool match = true;
+    for (int i = 0; i < 8; ++i)
+      if (out[static_cast<std::size_t>(i)] != cipher8[static_cast<std::size_t>(i)]) {
+        match = false;
+        break;
+      }
+    if (match) return guess + 1;
+  }
+  return 0;
+}
+
+} // namespace buscrypt::attack

@@ -1,0 +1,52 @@
+#pragma once
+/// \file brute.hpp
+/// The "temporal problem" of Section 1: "the key must be long enough to
+/// thwart the brute force attack ... a cryptosystem has a lifetime of at
+/// most 10 years due to the increase in computer processing power
+/// (Moore's law)". Two halves:
+///   - an analytic work-factor model with Moore-accelerated key search,
+///   - an empirical mini brute force on reduced-keyspace DES that the
+///     tests run to anchor the model's left edge in measured reality.
+
+#include "common/types.hpp"
+
+#include <span>
+#include <vector>
+
+namespace buscrypt::attack {
+
+/// Attacker compute model.
+struct brute_force_model {
+  double keys_per_second = 1e9;   ///< initial search rate (Class II rig, 2005)
+  double doubling_months = 18.0;  ///< Moore's law period
+
+  /// Years to exhaust a \p key_bits keyspace when the search rate doubles
+  /// every doubling_months (integrates the growing rate).
+  [[nodiscard]] double years_to_exhaust(unsigned key_bits) const;
+
+  /// Years to cover half the keyspace (expected time to find the key).
+  [[nodiscard]] double years_expected(unsigned key_bits) const {
+    return years_to_exhaust(key_bits > 0 ? key_bits - 1 : 0);
+  }
+};
+
+/// One row of the survey's implied lifetime table.
+struct lifetime_row {
+  unsigned key_bits;
+  double years_expected;
+  bool survives_10_years; ///< the paper's quoted lifetime bar
+};
+
+/// Expected-break-time rows for the given key sizes.
+[[nodiscard]] std::vector<lifetime_row> lifetime_table(
+    const brute_force_model& model, std::span<const unsigned> key_bits);
+
+/// Empirical brute force against DES with all but \p unknown_bits of the
+/// key known (the attacker refines a leaked key). Returns keys tried until
+/// the (plaintext, ciphertext) pair matched; 0 on failure.
+[[nodiscard]] u64 brute_force_des_reduced(std::span<const u8> known_key8,
+                                          unsigned unknown_bits,
+                                          std::span<const u8> plain8,
+                                          std::span<const u8> cipher8);
+
+} // namespace buscrypt::attack

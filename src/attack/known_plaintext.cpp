@@ -1,0 +1,52 @@
+#include "attack/known_plaintext.hpp"
+
+#include <string>
+#include <unordered_map>
+
+namespace buscrypt::attack {
+
+namespace {
+
+std::string block_key(std::span<const u8> data, std::size_t off, std::size_t n) {
+  return std::string(reinterpret_cast<const char*>(&data[off]), n);
+}
+
+} // namespace
+
+ecb_leakage analyze_ecb(std::span<const u8> ciphertext, std::size_t block_size) {
+  ecb_leakage out;
+  if (block_size == 0) return out;
+  std::unordered_map<std::string, std::size_t> census;
+  for (std::size_t off = 0; off + block_size <= ciphertext.size(); off += block_size) {
+    ++census[block_key(ciphertext, off, block_size)];
+    ++out.total_blocks;
+  }
+  out.distinct_blocks = census.size();
+  for (const auto& [blk, count] : census)
+    if (count > 1) out.repeated_blocks += count;
+  return out;
+}
+
+std::size_t ecb_dictionary_attack(std::span<const u8> ciphertext,
+                                  std::span<const u8> plaintext,
+                                  std::size_t known_off, std::size_t known_len,
+                                  std::size_t block_size) {
+  std::unordered_map<std::string, std::string> dict;
+  const std::size_t known_end = known_off + known_len;
+  for (std::size_t off = known_off; off + block_size <= known_end; off += block_size) {
+    dict.emplace(block_key(ciphertext, off, block_size),
+                 block_key(plaintext, off, block_size));
+  }
+
+  std::size_t recovered = 0;
+  for (std::size_t off = 0; off + block_size <= ciphertext.size(); off += block_size) {
+    if (off >= known_off && off < known_end) continue;
+    const auto it = dict.find(block_key(ciphertext, off, block_size));
+    if (it == dict.end()) continue;
+    // The dictionary's answer must actually be right (it is, under ECB).
+    if (it->second == block_key(plaintext, off, block_size)) recovered += block_size;
+  }
+  return recovered;
+}
+
+} // namespace buscrypt::attack

@@ -1,0 +1,45 @@
+#pragma once
+/// \file known_plaintext.hpp
+/// ECB's determinism, quantified: "a same data will be ciphered to the
+/// same value; which is the main security weakness of that mode"
+/// (Section 2.2). Two analyses:
+///   - structural leakage: how many ciphertext blocks repeat (an attacker
+///     sees the plaintext's block-level structure for free);
+///   - dictionary attack: an attacker who knows some plaintext regions
+///     builds a ct -> pt dictionary and decrypts every other occurrence.
+
+#include "common/types.hpp"
+
+#include <span>
+
+namespace buscrypt::attack {
+
+/// Census of an ECB ciphertext image.
+struct ecb_leakage {
+  std::size_t total_blocks = 0;
+  std::size_t distinct_blocks = 0;
+  std::size_t repeated_blocks = 0; ///< blocks occurring more than once
+
+  /// Fraction of the image whose structure is exposed.
+  [[nodiscard]] double exposure() const noexcept {
+    return total_blocks == 0
+               ? 0.0
+               : static_cast<double>(repeated_blocks) / static_cast<double>(total_blocks);
+  }
+};
+
+/// Analyse block repetition in \p ciphertext.
+[[nodiscard]] ecb_leakage analyze_ecb(std::span<const u8> ciphertext,
+                                      std::size_t block_size);
+
+/// Dictionary attack: the attacker knows plaintext for
+/// [known_off, known_off+known_len) of the image. Build the ct->pt block
+/// dictionary from that window and decrypt whatever else it covers.
+/// Returns the number of plaintext bytes recovered OUTSIDE the known window.
+[[nodiscard]] std::size_t ecb_dictionary_attack(std::span<const u8> ciphertext,
+                                                std::span<const u8> plaintext,
+                                                std::size_t known_off,
+                                                std::size_t known_len,
+                                                std::size_t block_size);
+
+} // namespace buscrypt::attack

@@ -1,0 +1,196 @@
+#include "attack/kuhn.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::attack {
+
+namespace {
+
+/// Fill a fresh table with "unknown".
+std::array<int, 256> empty_table() {
+  std::array<int, 256> t{};
+  t.fill(-1);
+  return t;
+}
+
+} // namespace
+
+kuhn_attack::kuhn_attack(const crypto::byte_bus_cipher& cipher, bytes& ext_mem)
+    : dev_(cipher, ext_mem), mem_(&ext_mem) {
+  if (ext_mem.size() < 0x800)
+    throw std::invalid_argument("kuhn_attack: need >= 2 KiB of external memory");
+}
+
+mcu_run kuhn_attack::probe(std::size_t max_steps) {
+  ++stats_.device_runs;
+  return dev_.run(max_steps);
+}
+
+void kuhn_attack::poke(addr_t addr, u8 ct) {
+  (*mem_)[addr % mem_->size()] = ct;
+  ++stats_.bytes_written;
+}
+
+u8 kuhn_attack::encode(addr_t addr, u8 plain) const {
+  const auto it = tables_.find(addr);
+  if (it == tables_.end())
+    throw std::logic_error("kuhn_attack: no table for address");
+  for (int c = 0; c < 256; ++c)
+    if (it->second[static_cast<std::size_t>(c)] == static_cast<int>(plain))
+      return static_cast<u8>(c);
+  throw std::logic_error("kuhn_attack: table incomplete");
+}
+
+int kuhn_attack::rel_from_target(addr_t jump_base, addr_t target) const {
+  // target = (jump_base + signext(val)) mod mem_size for exactly one val.
+  const addr_t m = mem_->size();
+  for (int val = 0; val < 256; ++val) {
+    const i64 rel = val < 128 ? val : val - 256;
+    const addr_t expect =
+        static_cast<addr_t>((static_cast<i64>(jump_base) + rel % static_cast<i64>(m) +
+                             static_cast<i64>(m)) %
+                            static_cast<i64>(m));
+    if (expect == target) return val;
+  }
+  return -1;
+}
+
+const std::array<int, 256>* kuhn_attack::table(addr_t addr) const {
+  const auto it = tables_.find(addr);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+void kuhn_attack::learn_table1_and_sjmp0() {
+  // Stage 1: exhaustive search for a short jump at the reset vector.
+  // Detection: the third fetch address deviates from the linear 0,1,2.
+  for (int c0 = 0; c0 < 256 && sjmp0_ < 0; ++c0) {
+    for (u8 c1 : {u8{0x00}, u8{0x55}}) { // two operands dodge rel == 0
+      poke(0, static_cast<u8>(c0));
+      poke(1, c1);
+      for (addr_t a = 2; a < 8; ++a) poke(a, 0x00);
+      const mcu_run r = probe(6);
+      if (r.fetch_addrs.size() >= 3 && r.fetch_addrs[0] == 0 &&
+          r.fetch_addrs[1] == 1 && r.fetch_addrs[2] != 2) {
+        sjmp0_ = c0;
+        break;
+      }
+    }
+  }
+  if (sjmp0_ < 0) throw std::runtime_error("kuhn: SJMP not found at address 0");
+
+  // Operand sweep: each run leaks D(1, c1) through the jump target.
+  auto& t1 = tables_.emplace(1, empty_table()).first->second;
+  poke(0, static_cast<u8>(sjmp0_));
+  for (int c1 = 0; c1 < 256; ++c1) {
+    poke(1, static_cast<u8>(c1));
+    const mcu_run r = probe(4);
+    const int val = rel_from_target(2, r.fetch_addrs.at(2));
+    if (val < 0) throw std::runtime_error("kuhn: unmatched SJMP target");
+    t1[static_cast<std::size_t>(c1)] = val;
+  }
+  ++stats_.tables_recovered;
+}
+
+void kuhn_attack::learn_table2_and_ljmp0() {
+  // Stage 2: long-jump search. With the hi operand pinned to plaintext
+  // 0x03 via the recovered D(1,.) table, a taken LJMP lands in page 3 —
+  // a signature nothing else in the ISA can produce on the 4th fetch.
+  const u8 hi3 = encode(1, 0x03);
+  for (int c0 = 0; c0 < 256 && ljmp0_ < 0; ++c0) {
+    if (c0 == sjmp0_) continue;
+    poke(0, static_cast<u8>(c0));
+    poke(1, hi3);
+    poke(2, 0x00);
+    for (addr_t a = 3; a < 8; ++a) poke(a, 0x00);
+    const mcu_run r = probe(6);
+    if (r.fetch_addrs.size() >= 4 && r.fetch_addrs[2] == 2 &&
+        r.fetch_addrs[3] >= 0x300 && r.fetch_addrs[3] <= 0x3FF) {
+      ljmp0_ = c0;
+    }
+  }
+  if (ljmp0_ < 0) throw std::runtime_error("kuhn: LJMP not found at address 0");
+
+  // Operand sweep: target low byte leaks D(2, c2).
+  auto& t2 = tables_.emplace(2, empty_table()).first->second;
+  poke(0, static_cast<u8>(ljmp0_));
+  poke(1, hi3);
+  for (int c2 = 0; c2 < 256; ++c2) {
+    poke(2, static_cast<u8>(c2));
+    const mcu_run r = probe(4);
+    const addr_t t = r.fetch_addrs.at(3);
+    if ((t >> 8) != 3) throw std::runtime_error("kuhn: LJMP target corrupt");
+    t2[static_cast<std::size_t>(c2)] = static_cast<int>(t & 0xFF);
+  }
+  ++stats_.tables_recovered;
+}
+
+void kuhn_attack::plant_ljmp0(addr_t target) {
+  poke(0, static_cast<u8>(ljmp0_));
+  poke(1, encode(1, static_cast<u8>(target >> 8)));
+  poke(2, encode(2, static_cast<u8>(target & 0xFF)));
+}
+
+void kuhn_attack::learn_table_via_chain(addr_t k) {
+  // Stage 3 at address k: LJMP 0 -> k, plant SJMP at k (encodable: the
+  // table for k is already known), sweep its operand at k+1. Special case
+  // k == 2: reach it with SJMP rel 0 from address 0 instead of LJMP
+  // (whose operands would collide with address 2).
+  std::size_t base_fetches; // fetches consumed before the SJMP opcode at k
+  if (k == 2) {
+    poke(0, static_cast<u8>(sjmp0_));
+    poke(1, encode(1, 0x00)); // rel 0: falls through to address 2
+    base_fetches = 2;
+  } else {
+    plant_ljmp0(k);
+    base_fetches = 3;
+  }
+  poke(k, encode(k, op_sjmp));
+
+  auto& tk = tables_.emplace(k + 1, empty_table()).first->second;
+  for (int c = 0; c < 256; ++c) {
+    poke(k + 1, static_cast<u8>(c));
+    const mcu_run r = probe(6);
+    // fetches: [prefix..., k (opcode), k+1 (operand), target]
+    const addr_t target = r.fetch_addrs.at(base_fetches + 2);
+    const int val = rel_from_target(k + 2, target);
+    if (val < 0) throw std::runtime_error("kuhn: unmatched chained SJMP target");
+    tk[static_cast<std::size_t>(c)] = val;
+  }
+  ++stats_.tables_recovered;
+}
+
+kuhn_result kuhn_attack::execute(addr_t victim_base, std::size_t victim_len) {
+  // --- Phase 1: recover decryption tables for the scratch area ---------
+  learn_table1_and_sjmp0();
+  learn_table2_and_ljmp0();
+  // Tables for 3..12: enough to host the dump program at 3..11.
+  learn_table_via_chain(2); // learns D(3,.)
+  for (addr_t k = 3; k <= 11; ++k) learn_table_via_chain(k); // D(4..12,.)
+
+  // --- Phase 2: the parallel-port dump ---------------------------------
+  // Program at 3: MOV DPTR,#v / CLR A / MOVC A,@A+DPTR / MOV P1,A / SJMP self
+  plant_ljmp0(3);
+  poke(3, encode(3, op_mov_dptr));
+  poke(6, encode(6, op_clr_a));
+  poke(7, encode(7, op_movc));
+  poke(8, encode(8, op_mov_dir_a));
+  poke(9, encode(9, 0x90)); // direct address of P1
+  poke(10, encode(10, op_sjmp));
+  poke(11, encode(11, 0xFE)); // rel -2: spin
+
+  stats_.dumped.clear();
+  stats_.dumped.reserve(victim_len);
+  for (std::size_t i = 0; i < victim_len; ++i) {
+    const addr_t v = victim_base + i;
+    poke(4, encode(4, static_cast<u8>(v >> 8)));
+    poke(5, encode(5, static_cast<u8>(v & 0xFF)));
+    const mcu_run r = probe(8);
+    if (r.port_writes.empty())
+      throw std::runtime_error("kuhn: dump program produced no port output");
+    stats_.dumped.push_back(r.port_writes.front());
+  }
+  stats_.success = true;
+  return stats_;
+}
+
+} // namespace buscrypt::attack

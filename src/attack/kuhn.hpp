@@ -1,0 +1,80 @@
+#pragma once
+/// \file kuhn.hpp
+/// Markus Kuhn's cipher instruction search attack on the DS5002FP [6], as
+/// summarised by the survey: "The hacker circumvents the cryptographic
+/// problem by finding a hole in the architecture processing and by
+/// applying exhaustive attack (8-bit instruction -> 256 possibilities).
+/// After having identified the MOV instruction, he dumped the external
+/// memory content in clear form through the parallel-port."
+///
+/// The attacker model: physical access to the external memory chip (can
+/// write arbitrary ciphertext bytes), the reset line, the address bus (a
+/// logic analyser sees every fetch address) and the parallel port. The
+/// cipher key never leaves the MCU; it is never learned — the attack
+/// recovers per-address decryption TABLES, which is all the architecture
+/// hole requires.
+///
+/// Stages (each exploits that one address has only 256 ciphertexts):
+///  1. find the SJMP encoding at address 0 by exhaustive search: a
+///     deviating third fetch address betrays a taken short jump, and the
+///     jump target leaks the operand's plaintext -> full D(1,.) table;
+///  2. find LJMP at 0 the same way (page-3 target signature) -> D(2,.);
+///  3. chain: jump to k, plant a known SJMP, sweep its operand -> D(k+1,.);
+///  4. plant a dump program (MOV DPTR / MOVC / MOV P1,A) encoded via the
+///     recovered tables; the port emits the victim firmware in clear.
+
+#include "attack/mcu8051.hpp"
+
+#include <array>
+#include <map>
+
+namespace buscrypt::attack {
+
+/// Cost accounting and outcome of the attack.
+struct kuhn_result {
+  bool success = false;
+  std::size_t device_runs = 0;    ///< resets of the target
+  std::size_t bytes_written = 0;  ///< ciphertext bytes injected
+  std::size_t tables_recovered = 0; ///< addresses with full D(addr,.) known
+  bytes dumped;                   ///< recovered victim plaintext
+};
+
+/// The attack harness.
+class kuhn_attack {
+ public:
+  /// \param cipher  the on-chip cipher under attack (used only through the
+  ///                device; the attack never calls it directly).
+  /// \param ext_mem the external memory chip (ciphertext, writable).
+  kuhn_attack(const crypto::byte_bus_cipher& cipher, bytes& ext_mem);
+
+  /// Run the full attack and dump [victim_base, victim_base+len).
+  [[nodiscard]] kuhn_result execute(addr_t victim_base, std::size_t victim_len);
+
+  /// Recovered decryption table for \p addr (test hook); entries are
+  /// plaintext values 0..255 or -1 when unknown.
+  [[nodiscard]] const std::array<int, 256>* table(addr_t addr) const;
+
+ private:
+  /// One instrumented device run.
+  [[nodiscard]] mcu_run probe(std::size_t max_steps);
+
+  void poke(addr_t addr, u8 ct);
+  /// Find c such that D(addr, c) == plain (table must be complete).
+  [[nodiscard]] u8 encode(addr_t addr, u8 plain) const;
+  /// Match an observed jump target against all 256 possible rel values.
+  [[nodiscard]] int rel_from_target(addr_t jump_base, addr_t target) const;
+
+  void learn_table1_and_sjmp0();
+  void learn_table2_and_ljmp0();
+  void learn_table_via_chain(addr_t k); ///< requires tables at 1,2,k
+  void plant_ljmp0(addr_t target);
+
+  mcu8051 dev_;
+  bytes* mem_;
+  kuhn_result stats_;
+  std::map<addr_t, std::array<int, 256>> tables_;
+  int sjmp0_ = -1; ///< ciphertext of SJMP at address 0
+  int ljmp0_ = -1; ///< ciphertext of LJMP at address 0
+};
+
+} // namespace buscrypt::attack

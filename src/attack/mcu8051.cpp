@@ -1,0 +1,72 @@
+#include "attack/mcu8051.hpp"
+
+namespace buscrypt::attack {
+
+u8 mcu8051::read_plain(addr_t addr) const {
+  const addr_t a = addr % mem_->size();
+  return cipher_->decrypt_byte(a, (*mem_)[a]);
+}
+
+mcu_run mcu8051::run(std::size_t max_steps) const {
+  mcu_run out;
+  addr_t pc = 0;
+  u8 a = 0;
+  u16 dptr = 0;
+
+  auto fetch = [&]() -> u8 {
+    out.fetch_addrs.push_back(pc % mem_->size());
+    const u8 v = read_plain(pc);
+    ++pc;
+    return v;
+  };
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    ++out.steps;
+    const u8 op = fetch();
+    switch (op) {
+      case op_nop:
+        break;
+      case op_clr_a:
+        a = 0;
+        break;
+      case op_inc_a:
+        ++a;
+        break;
+      case op_mov_a_imm:
+        a = fetch();
+        break;
+      case op_sjmp: {
+        const auto rel = static_cast<std::int8_t>(fetch());
+        pc = static_cast<addr_t>(static_cast<i64>(pc) + rel);
+        break;
+      }
+      case op_ljmp: {
+        const u8 hi = fetch();
+        const u8 lo = fetch();
+        pc = (addr_t{hi} << 8) | lo;
+        break;
+      }
+      case op_mov_dptr: {
+        const u8 hi = fetch();
+        const u8 lo = fetch();
+        dptr = static_cast<u16>((u16{hi} << 8) | lo);
+        break;
+      }
+      case op_movc:
+        // External table read: deciphered by the bus cipher like any fetch.
+        a = read_plain(static_cast<addr_t>(dptr) + a);
+        break;
+      case op_mov_dir_a: {
+        const u8 direct = fetch();
+        if (direct == 0x90) out.port_writes.push_back(a); // P1: visible!
+        break;
+      }
+      default:
+        // Unimplemented opcodes execute as 1-byte no-ops.
+        break;
+    }
+  }
+  return out;
+}
+
+} // namespace buscrypt::attack

@@ -1,0 +1,57 @@
+#pragma once
+/// \file mcu8051.hpp
+/// A minimal 8051-style microcontroller with DS5002FP-style bus encryption:
+/// every external fetch goes through the byte cipher, both for code and for
+/// MOVC table reads — exactly the architecture Markus Kuhn attacked [6].
+/// The instruction subset is chosen so his attack is expressible:
+/// observable port writes (the "parallel port"), short/long jumps whose
+/// fetch patterns leak operand plaintext, and MOVC for the final dump.
+
+#include "crypto/toy_cipher.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace buscrypt::attack {
+
+/// Supported opcodes (plaintext encodings, 8051 values where they exist).
+enum : u8 {
+  op_nop = 0x00,      ///< 1 byte
+  op_ljmp = 0x02,     ///< 3 bytes: LJMP hi lo
+  op_inc_a = 0x04,    ///< 1 byte
+  op_mov_a_imm = 0x74,///< 2 bytes: MOV A,#imm
+  op_sjmp = 0x80,     ///< 2 bytes: SJMP rel (signed)
+  op_mov_dptr = 0x90, ///< 3 bytes: MOV DPTR,#hi,#lo
+  op_movc = 0x93,     ///< 1 byte: MOVC A,@A+DPTR (external, deciphered)
+  op_clr_a = 0xE4,    ///< 1 byte
+  op_mov_dir_a = 0xF5,///< 2 bytes: MOV direct,A (direct 0x90 = port P1)
+};
+
+/// Result of one bounded execution.
+struct mcu_run {
+  std::vector<addr_t> fetch_addrs; ///< the externally visible address bus
+  std::vector<u8> port_writes;     ///< values written to P1 (the parallel port)
+  std::size_t steps = 0;
+};
+
+/// The secured microcontroller. External memory holds CIPHERTEXT; the
+/// on-chip cipher decrypts every fetch. The attacker owns ext_mem (it is
+/// the external SRAM chip) but not the cipher key.
+class mcu8051 {
+ public:
+  /// \param cipher   the on-chip bus cipher (key hidden inside).
+  /// \param ext_mem  the external memory chip, attacker-writable ciphertext.
+  mcu8051(const crypto::byte_bus_cipher& cipher, bytes& ext_mem)
+      : cipher_(&cipher), mem_(&ext_mem) {}
+
+  /// Reset and execute at most \p max_steps instructions from address 0.
+  [[nodiscard]] mcu_run run(std::size_t max_steps) const;
+
+ private:
+  [[nodiscard]] u8 read_plain(addr_t addr) const;
+
+  const crypto::byte_bus_cipher* cipher_;
+  bytes* mem_;
+};
+
+} // namespace buscrypt::attack

@@ -1,0 +1,35 @@
+#include "attack/pad_reuse.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace buscrypt::attack {
+
+bytes xor_ciphertexts(std::span<const u8> ct1, std::span<const u8> ct2) {
+  if (ct1.size() != ct2.size())
+    throw std::invalid_argument("xor_ciphertexts: length mismatch");
+  bytes out(ct1.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<u8>(ct1[i] ^ ct2[i]);
+  return out;
+}
+
+bytes two_time_pad_recover(std::span<const u8> ct1, std::span<const u8> ct2,
+                           std::span<const u8> known_pt1) {
+  const bytes diff = xor_ciphertexts(ct1, ct2);
+  if (known_pt1.size() != diff.size())
+    throw std::invalid_argument("two_time_pad_recover: length mismatch");
+  bytes out(diff.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<u8>(diff[i] ^ known_pt1[i]);
+  return out;
+}
+
+double printable_fraction(std::span<const u8> data) {
+  if (data.empty()) return 0.0;
+  std::size_t printable = 0;
+  for (u8 b : data)
+    if (std::isprint(b) || b == '\n' || b == '\t') ++printable;
+  return static_cast<double>(printable) / static_cast<double>(data.size());
+}
+
+} // namespace buscrypt::attack

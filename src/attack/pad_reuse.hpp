@@ -1,0 +1,28 @@
+#pragma once
+/// \file pad_reuse.hpp
+/// The two-time-pad failure: a stream EDU whose pad depends only on the
+/// address produces IDENTICAL pads for every write to one location, so a
+/// bus probe that captures two ciphertext versions of the same line gets
+/// ct1 ^ ct2 == pt1 ^ pt2 — no key required. This is the attack AEGIS's
+/// per-write nonces (and integrity_edu's versioned pads) exist to stop.
+
+#include "common/types.hpp"
+
+#include <span>
+
+namespace buscrypt::attack {
+
+/// XOR-combine two ciphertexts of the same location: the pads cancel when
+/// they were reused. Returns pt1 ^ pt2.
+[[nodiscard]] bytes xor_ciphertexts(std::span<const u8> ct1, std::span<const u8> ct2);
+
+/// Given the pad-reuse XOR and one known plaintext, recover the other.
+[[nodiscard]] bytes two_time_pad_recover(std::span<const u8> ct1,
+                                         std::span<const u8> ct2,
+                                         std::span<const u8> known_pt1);
+
+/// Crib heuristic: fraction of printable-ASCII bytes — high values signal
+/// a successful recovery of text-like data.
+[[nodiscard]] double printable_fraction(std::span<const u8> data);
+
+} // namespace buscrypt::attack

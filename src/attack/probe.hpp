@@ -1,0 +1,31 @@
+#pragma once
+/// \file probe.hpp
+/// Board-level bus probing analysis: what does the logic analyser on the
+/// processor-memory bus actually learn? Used by the tests to prove that
+/// with an EDU in place the traffic is ciphertext (near-zero plaintext
+/// visibility), and without one the whole working set leaks.
+
+#include "sim/bus.hpp"
+
+#include <span>
+
+namespace buscrypt::attack {
+
+/// Reconstruct the attacker's best-effort memory image from a probe log:
+/// the last value observed for each byte address (reads and writes both
+/// leak). Unobserved bytes are left as \p fill.
+[[nodiscard]] bytes reconstruct_from_probe(const sim::recording_probe& probe,
+                                           std::size_t image_size, u8 fill = 0);
+
+/// Fraction of \p secret bytes the bus traffic exposed verbatim at their
+/// own addresses (1.0 == the probe saw the whole secret in clear).
+[[nodiscard]] double leakage_fraction(const sim::recording_probe& probe,
+                                      addr_t secret_base,
+                                      std::span<const u8> secret);
+
+/// Count of probe beats whose data contains \p pattern as a substring —
+/// cheap signature scan an attacker would run first.
+[[nodiscard]] std::size_t pattern_sightings(const sim::recording_probe& probe,
+                                            std::span<const u8> pattern);
+
+} // namespace buscrypt::attack

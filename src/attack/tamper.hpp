@@ -1,0 +1,35 @@
+#pragma once
+/// \file tamper.hpp
+/// Active (integrity) attacks on external memory — the threat the survey's
+/// conclusion defers to future work: "thwart attacks based on the
+/// modification of the fetched instructions". The canonical trio:
+///
+///   spoof  — overwrite a line with chosen/garbled ciphertext;
+///   splice — relocate a VALID (ciphertext, tag) pair to another address;
+///   replay — restore a STALE (ciphertext, tag) pair at its own address.
+///
+/// Run against edu::integrity_edu at each protection level to produce the
+/// detection matrix (bench/tab6_integrity).
+
+#include "edu/integrity_edu.hpp"
+#include "sim/dram.hpp"
+
+namespace buscrypt::attack {
+
+/// Which tampers the engine caught.
+struct tamper_report {
+  bool spoof_detected = false;
+  bool splice_detected = false;
+  bool replay_detected = false;
+  bool spoof_corrupted_data = false;  ///< plaintext seen by the CPU changed
+  bool replay_restored_stale = false; ///< CPU read the stale value verbatim
+};
+
+/// Execute the three tampers against \p target whose external memory chip
+/// is \p chip. \p line_a and \p line_b must be distinct line-aligned
+/// addresses inside the protected range.
+[[nodiscard]] tamper_report run_tamper_suite(edu::integrity_edu& target,
+                                             sim::dram& chip, addr_t line_a,
+                                             addr_t line_b);
+
+} // namespace buscrypt::attack

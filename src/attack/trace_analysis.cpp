@@ -1,0 +1,56 @@
+#include "attack/trace_analysis.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace buscrypt::attack {
+
+trace_profile profile_bus_trace(const sim::recording_probe& probe,
+                                std::size_t line_size, std::size_t max_period) {
+  trace_profile out;
+  if (line_size == 0) return out;
+
+  std::unordered_map<addr_t, u64> census;
+  std::vector<addr_t> read_lines;
+  read_lines.reserve(probe.log().size());
+
+  for (const sim::bus_beat& beat : probe.log()) {
+    const addr_t line = beat.addr - beat.addr % line_size;
+    if (beat.write) {
+      ++out.write_beats;
+    } else {
+      ++out.read_beats;
+      // Collapse the beats of one burst into a single line visit so the
+      // period is measured in lines, not bus beats.
+      if (read_lines.empty() || read_lines.back() != line)
+        read_lines.push_back(line);
+    }
+    ++census[line];
+  }
+  out.distinct_lines = census.size();
+  for (const auto& [line, hits] : census) {
+    if (hits > out.hottest_hits) {
+      out.hottest_hits = hits;
+      out.hottest_line = line;
+    }
+  }
+
+  // Loop detection: smallest period p such that >= 90% of positions agree
+  // with their p-shifted neighbour.
+  const std::size_t n = read_lines.size();
+  if (n >= 16) {
+    for (std::size_t p = 1; p <= max_period && p * 2 <= n; ++p) {
+      std::size_t agree = 0;
+      const std::size_t checks = n - p;
+      for (std::size_t i = 0; i < checks; ++i)
+        if (read_lines[i] == read_lines[i + p]) ++agree;
+      if (static_cast<double>(agree) >= 0.9 * static_cast<double>(checks)) {
+        out.loop_period = p;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace buscrypt::attack

@@ -1,0 +1,35 @@
+#pragma once
+/// \file trace_analysis.hpp
+/// Address-bus leakage. Even a perfect data cipher leaves the ADDRESS
+/// lines in clear (only the DS5002FP family scrambled them): a probe
+/// learns the working set, the read/write mix, hot spots, and loop
+/// structure — "observing ... system execution can be done through simple
+/// board-level probing" (Section 1). These analyses quantify what stays
+/// visible through every EDU in the library.
+
+#include "sim/bus.hpp"
+
+namespace buscrypt::attack {
+
+/// What the address trace alone reveals.
+struct trace_profile {
+  u64 read_beats = 0;
+  u64 write_beats = 0;
+  std::size_t distinct_lines = 0; ///< working-set size in lines
+  addr_t hottest_line = 0;
+  u64 hottest_hits = 0;
+  std::size_t loop_period = 0;    ///< dominant period in line-fetch sequence, 0 = none
+
+  [[nodiscard]] double write_fraction() const noexcept {
+    const u64 total = read_beats + write_beats;
+    return total == 0 ? 0.0 : static_cast<double>(write_beats) / static_cast<double>(total);
+  }
+};
+
+/// Profile a recorded bus trace at \p line_size granularity. Loop period
+/// search is capped at \p max_period.
+[[nodiscard]] trace_profile profile_bus_trace(const sim::recording_probe& probe,
+                                              std::size_t line_size,
+                                              std::size_t max_period = 2048);
+
+} // namespace buscrypt::attack

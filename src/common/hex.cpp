@@ -1,0 +1,69 @@
+#include "common/hex.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace buscrypt {
+
+namespace {
+
+constexpr char k_digits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("from_hex: invalid hex character");
+}
+
+} // namespace
+
+std::string to_hex(std::span<const u8> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (u8 b : data) {
+    out.push_back(k_digits[b >> 4]);
+    out.push_back(k_digits[b & 0xF]);
+  }
+  return out;
+}
+
+bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0)
+    throw std::invalid_argument("from_hex: odd-length input");
+  bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<u8>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const u8> data, addr_t base) {
+  std::ostringstream os;
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    char addr_buf[20];
+    std::snprintf(addr_buf, sizeof addr_buf, "%08llx  ",
+                  static_cast<unsigned long long>(base + row));
+    os << addr_buf;
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < data.size()) {
+        const u8 b = data[row + col];
+        os << k_digits[b >> 4] << k_digits[b & 0xF] << ' ';
+      } else {
+        os << "   ";
+      }
+      if (col == 7) os << ' ';
+    }
+    os << " |";
+    for (std::size_t col = 0; col < 16 && row + col < data.size(); ++col) {
+      const u8 b = data[row + col];
+      os << (std::isprint(b) ? static_cast<char>(b) : '.');
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+} // namespace buscrypt

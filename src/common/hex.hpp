@@ -1,0 +1,24 @@
+#pragma once
+/// \file hex.hpp
+/// Hex encoding/decoding for test vectors and human-readable dumps.
+
+#include "common/types.hpp"
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace buscrypt {
+
+/// Encode a byte buffer as lowercase hex ("deadbeef").
+[[nodiscard]] std::string to_hex(std::span<const u8> data);
+
+/// Decode a hex string (case-insensitive, no separators) into bytes.
+/// \throws std::invalid_argument on odd length or non-hex characters.
+[[nodiscard]] bytes from_hex(std::string_view hex);
+
+/// Classic 16-bytes-per-row hexdump with an ASCII gutter, for examples
+/// that display bus traffic and memory images.
+[[nodiscard]] std::string hexdump(std::span<const u8> data, addr_t base = 0);
+
+} // namespace buscrypt

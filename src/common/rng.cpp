@@ -1,0 +1,74 @@
+#include "common/rng.hpp"
+
+#include "common/bitops.hpp"
+
+namespace buscrypt {
+
+namespace {
+
+u64 splitmix64(u64& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+} // namespace
+
+rng::rng(u64 seed) noexcept {
+  u64 s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+u64 rng::next_u64() noexcept {
+  const u64 result = rotl64(state_[1] * 5, 7) * 9;
+  const u64 t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl64(state_[3], 45);
+  return result;
+}
+
+u64 rng::below(u64 bound) noexcept {
+  // Rejection sampling on the top of the range to kill modulo bias.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53-bit uniform double in [0,1).
+  const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+void rng::fill(std::span<u8> out) noexcept {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    store_le64(&out[i], next_u64());
+    i += 8;
+  }
+  if (i < out.size()) {
+    u64 last = next_u64();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<u8>(last);
+      last >>= 8;
+    }
+  }
+}
+
+bytes rng::random_bytes(std::size_t n) {
+  bytes out(n);
+  fill(out);
+  return out;
+}
+
+} // namespace buscrypt

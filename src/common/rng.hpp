@@ -1,0 +1,52 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random source for workload generation, key material
+/// in tests, and Monte-Carlo attack experiments. xoshiro256** — fast, tiny,
+/// and reproducible across platforms (unlike std::mt19937 distributions).
+///
+/// This RNG is NOT a CSPRNG and is never used as one: production key
+/// generation is out of the survey's scope; tests and simulations only need
+/// reproducibility.
+
+#include "common/types.hpp"
+
+#include <span>
+
+namespace buscrypt {
+
+/// xoshiro256** by Blackman & Vigna. Seeded via splitmix64 so that any
+/// 64-bit seed (including 0) yields a well-mixed state.
+class rng {
+ public:
+  explicit rng(u64 seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  /// Next raw 64-bit output.
+  [[nodiscard]] u64 next_u64() noexcept;
+
+  /// Uniform 32-bit output.
+  [[nodiscard]] u32 next_u32() noexcept { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform byte.
+  [[nodiscard]] u8 next_byte() noexcept { return static_cast<u8>(next_u64() >> 56); }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling so the distribution is exactly uniform.
+  [[nodiscard]] u64 below(u64 bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] u64 between(u64 lo, u64 hi) noexcept { return lo + below(hi - lo + 1); }
+
+  /// Bernoulli trial with probability \p p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Fill a buffer with pseudo-random bytes.
+  void fill(std::span<u8> out) noexcept;
+
+  /// Convenience: a fresh pseudo-random byte vector of length \p n.
+  [[nodiscard]] bytes random_bytes(std::size_t n);
+
+ private:
+  u64 state_[4];
+};
+
+} // namespace buscrypt

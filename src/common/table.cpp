@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace buscrypt {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != ',' && c != 'e' && c != 'x')
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      const bool right = align_numeric && looks_numeric(cell);
+      os << ' ';
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_, false);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return os.str();
+}
+
+std::string table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string table::num(unsigned long long v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(raw[i]);
+    const std::size_t rem = n - 1 - i;
+    if (rem != 0 && rem % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+std::string table::pct(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", digits, ratio * 100.0);
+  return buf;
+}
+
+} // namespace buscrypt

@@ -1,0 +1,38 @@
+#pragma once
+/// \file table.hpp
+/// Minimal console table formatter used by the benchmark harnesses to print
+/// the rows/series each paper figure or table reports. Right-aligns numbers,
+/// left-aligns text, pads columns to content width.
+
+#include <string>
+#include <vector>
+
+namespace buscrypt {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class table {
+ public:
+  /// Define the header row. Must be called before add_row.
+  explicit table(std::vector<std::string> headers);
+
+  /// Append a data row; missing cells render empty, extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header separator. Each call reflows column widths.
+  [[nodiscard]] std::string str() const;
+
+  /// Format a double with \p digits decimals (helper for callers).
+  [[nodiscard]] static std::string num(double v, int digits = 2);
+
+  /// Format an integer with thousands separators ("12,345,678").
+  [[nodiscard]] static std::string num(unsigned long long v);
+
+  /// Format a ratio as a percentage string with sign ("+25.0%").
+  [[nodiscard]] static std::string pct(double ratio, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace buscrypt

@@ -1,0 +1,27 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental aliases shared by every buscrypt subsystem.
+
+#include <cstdint>
+#include <vector>
+
+namespace buscrypt {
+
+/// Raw byte as used on the bus and in memory images.
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Simulated clock cycles. Signed arithmetic is never needed; overflows at
+/// 2^64 cycles are outside any simulation horizon we run.
+using cycles = std::uint64_t;
+
+/// Physical address on the processor-memory bus.
+using addr_t = std::uint64_t;
+
+/// Mutable byte buffer (memory images, plaintext/ciphertext).
+using bytes = std::vector<u8>;
+
+} // namespace buscrypt

@@ -1,0 +1,32 @@
+#pragma once
+/// \file huffman.hpp
+/// Canonical Huffman codec over bytes — the entropy-coding workhorse of
+/// the Fig. 8 study and the building block reused by the CodePack-style
+/// code compressor.
+
+#include "compress/codec.hpp"
+
+#include <array>
+#include <vector>
+
+namespace buscrypt::compress {
+
+/// Build Huffman code lengths for \p n symbols from \p freq (zero-frequency
+/// symbols get length 0 == absent). Standard two-queue construction.
+[[nodiscard]] std::vector<u8> huffman_code_lengths(std::span<const u64> freq);
+
+/// Assign canonical codes (numeric, MSB-first) from lengths.
+/// codes[i] is valid when lengths[i] != 0.
+[[nodiscard]] std::vector<u32> canonical_codes(std::span<const u8> lengths);
+
+/// Byte-oriented canonical Huffman codec.
+/// Wire format: [u32 original_len][256 x u8 code lengths][bitstream].
+class huffman_codec final : public codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "Huffman"; }
+  [[nodiscard]] bytes compress(std::span<const u8> in) const override;
+  [[nodiscard]] bytes decompress(std::span<const u8> in) const override;
+  [[nodiscard]] codec_timing timing() const noexcept override { return {6, 1.0}; }
+};
+
+} // namespace buscrypt::compress

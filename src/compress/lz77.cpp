@@ -1,0 +1,127 @@
+#include "compress/lz77.hpp"
+
+#include "common/bitops.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace buscrypt::compress {
+
+namespace {
+
+constexpr std::size_t k_min_match = 3;
+constexpr std::size_t k_max_match = 255;
+constexpr int k_max_chain = 64;
+
+u32 hash3(const u8* p) noexcept {
+  return (u32{p[0]} << 16 | u32{p[1]} << 8 | u32{p[2]}) * 2654435761u >> 17;
+}
+
+} // namespace
+
+bytes lz77_codec::compress(std::span<const u8> in) const {
+  bytes out(4);
+  store_le32(out.data(), static_cast<u32>(in.size()));
+
+  constexpr std::size_t k_hash_size = 1 << 15;
+  std::vector<i64> head(k_hash_size, -1);
+  std::vector<i64> prev(in.size(), -1);
+
+  // Flag-byte group state: position of the current flag byte in `out`,
+  // and how many of its 8 token slots are used.
+  std::size_t flag_pos = 0;
+  unsigned flag_used = 8; // force a fresh flag byte on the first token
+  auto begin_token = [&](bool is_match) {
+    if (flag_used == 8) {
+      flag_pos = out.size();
+      out.push_back(0);
+      flag_used = 0;
+    }
+    if (is_match) out[flag_pos] = static_cast<u8>(out[flag_pos] | (1u << flag_used));
+    ++flag_used;
+  };
+
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+
+    if (i + k_min_match <= in.size()) {
+      const u32 h = hash3(&in[i]) & (k_hash_size - 1);
+      i64 cand = head[h];
+      int chain = 0;
+      while (cand >= 0 && chain < k_max_chain) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t dist = i - c;
+        if (dist > window_ || dist > 32768) break;
+        std::size_t len = 0;
+        const std::size_t limit = std::min(k_max_match, in.size() - i);
+        while (len < limit && in[c + len] == in[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == limit) break;
+        }
+        cand = prev[c];
+        ++chain;
+      }
+    }
+
+    if (best_len >= k_min_match) {
+      begin_token(/*is_match=*/true);
+      out.push_back(static_cast<u8>(best_dist));
+      out.push_back(static_cast<u8>(best_dist >> 8));
+      out.push_back(static_cast<u8>(best_len));
+      // Insert hash entries for every position we skip.
+      const std::size_t end = i + best_len;
+      while (i < end && i + k_min_match <= in.size()) {
+        const u32 h = hash3(&in[i]) & (k_hash_size - 1);
+        prev[i] = head[h];
+        head[h] = static_cast<i64>(i);
+        ++i;
+      }
+      i = end;
+    } else {
+      begin_token(/*is_match=*/false);
+      out.push_back(in[i]);
+      if (i + k_min_match <= in.size()) {
+        const u32 h = hash3(&in[i]) & (k_hash_size - 1);
+        prev[i] = head[h];
+        head[h] = static_cast<i64>(i);
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+bytes lz77_codec::decompress(std::span<const u8> in) const {
+  if (in.size() < 4) throw std::invalid_argument("lz77: truncated header");
+  const u32 original = load_le32(in.data());
+  bytes out;
+  out.reserve(original);
+
+  std::size_t i = 4;
+  while (i < in.size() && out.size() < original) {
+    const u8 flags = in[i++];
+    for (unsigned bit = 0; bit < 8 && out.size() < original; ++bit) {
+      if (flags & (1u << bit)) {
+        if (i + 3 > in.size()) throw std::invalid_argument("lz77: truncated match");
+        const std::size_t dist = in[i] | (std::size_t{in[i + 1]} << 8);
+        const std::size_t len = in[i + 2];
+        i += 3;
+        if (dist == 0 || dist > out.size())
+          throw std::invalid_argument("lz77: bad match distance");
+        for (std::size_t k = 0; k < len; ++k)
+          out.push_back(out[out.size() - dist]);
+      } else {
+        if (i >= in.size()) throw std::invalid_argument("lz77: truncated literal");
+        out.push_back(in[i++]);
+      }
+    }
+  }
+  if (out.size() != original) throw std::invalid_argument("lz77: length mismatch");
+  return out;
+}
+
+} // namespace buscrypt::compress

@@ -1,0 +1,29 @@
+#pragma once
+/// \file lz77.hpp
+/// Windowed LZ77 with hash-chain match finding. The dictionary coder in
+/// the Fig. 8 sweep; better ratio than RLE/Huffman alone on code images,
+/// at a higher modeled decompressor cost.
+
+#include "compress/codec.hpp"
+
+namespace buscrypt::compress {
+
+/// Token format (byte-oriented for a cheap hardware decoder): groups of 8
+/// tokens share one flag byte (bit i set = token i is a match). A literal
+/// is one byte; a match is <dist:u16 le> <len:u8> (len 3..255,
+/// dist 1..32768). Worst-case expansion is 12.5%.
+/// Header: u32 original length.
+class lz77_codec final : public codec {
+ public:
+  explicit lz77_codec(std::size_t window = 32 * 1024) : window_(window) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "LZ77"; }
+  [[nodiscard]] bytes compress(std::span<const u8> in) const override;
+  [[nodiscard]] bytes decompress(std::span<const u8> in) const override;
+  [[nodiscard]] codec_timing timing() const noexcept override { return {8, 0.75}; }
+
+ private:
+  std::size_t window_;
+};
+
+} // namespace buscrypt::compress

@@ -1,0 +1,66 @@
+#include "compress/rle.hpp"
+
+#include "common/bitops.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::compress {
+
+bytes rle_codec::compress(std::span<const u8> in) const {
+  bytes out;
+  out.reserve(in.size() / 2 + 8);
+  out.resize(4);
+  store_le32(out.data(), static_cast<u32>(in.size()));
+
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const u8 v = in[i];
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == v && run < 255) ++run;
+    if (run >= k_min_run || v == k_marker) {
+      out.push_back(k_marker);
+      if (v == k_marker && run < k_min_run) {
+        // Escaped literal marker(s): emit one at a time.
+        out.push_back(0);
+        i += 1;
+        continue;
+      }
+      out.push_back(static_cast<u8>(run));
+      out.push_back(v);
+      i += run;
+    } else {
+      out.push_back(v);
+      i += 1;
+    }
+  }
+  return out;
+}
+
+bytes rle_codec::decompress(std::span<const u8> in) const {
+  if (in.size() < 4) throw std::invalid_argument("rle: truncated header");
+  const u32 original = load_le32(in.data());
+  bytes out;
+  out.reserve(original);
+
+  std::size_t i = 4;
+  while (i < in.size()) {
+    const u8 b = in[i++];
+    if (b != k_marker) {
+      out.push_back(b);
+      continue;
+    }
+    if (i >= in.size()) throw std::invalid_argument("rle: truncated escape");
+    const u8 len = in[i++];
+    if (len == 0) {
+      out.push_back(k_marker);
+      continue;
+    }
+    if (i >= in.size()) throw std::invalid_argument("rle: truncated run");
+    const u8 v = in[i++];
+    out.insert(out.end(), len, v);
+  }
+  if (out.size() != original) throw std::invalid_argument("rle: length mismatch");
+  return out;
+}
+
+} // namespace buscrypt::compress

@@ -1,0 +1,25 @@
+#pragma once
+/// \file rle.hpp
+/// Run-length codec: the cheapest possible hardware decompressor (one
+/// comparator and a counter). Baseline for the Fig. 8 study; only wins on
+/// zero-padded images, loses on dense code.
+
+#include "compress/codec.hpp"
+
+namespace buscrypt::compress {
+
+/// Escape-marker RLE. Runs of 4+ identical bytes become
+/// (marker, length, value); a literal marker byte becomes (marker, 0).
+class rle_codec final : public codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "RLE"; }
+  [[nodiscard]] bytes compress(std::span<const u8> in) const override;
+  [[nodiscard]] bytes decompress(std::span<const u8> in) const override;
+  [[nodiscard]] codec_timing timing() const noexcept override { return {1, 0.125}; }
+
+ private:
+  static constexpr u8 k_marker = 0xA5;
+  static constexpr std::size_t k_min_run = 4;
+};
+
+} // namespace buscrypt::compress

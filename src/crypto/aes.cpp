@@ -1,0 +1,208 @@
+#include "crypto/aes.hpp"
+
+#include "common/bitops.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
+// ---------------------------------------------------------------------------
+
+constexpr u8 xtime(u8 x) noexcept {
+  return static_cast<u8>((x << 1) ^ ((x & 0x80) ? 0x1B : 0x00));
+}
+
+constexpr u8 gmul(u8 a, u8 b) noexcept {
+  u8 p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+// Multiplicative inverse via a^254 (Fermat in GF(2^8)); inv(0) := 0.
+constexpr u8 ginv(u8 a) noexcept {
+  u8 r = 1;
+  for (int i = 0; i < 254; ++i) r = gmul(r, a);
+  return r;
+}
+
+constexpr std::array<u8, 256> make_sbox() noexcept {
+  std::array<u8, 256> s{};
+  for (int i = 0; i < 256; ++i) {
+    const u8 x = ginv(static_cast<u8>(i));
+    // Affine transform: b ^ rotl(b,1..4) ^ 0x63 over GF(2) bit vectors.
+    u8 y = static_cast<u8>(x ^ ((x << 1) | (x >> 7)) ^ ((x << 2) | (x >> 6)) ^
+                           ((x << 3) | (x >> 5)) ^ ((x << 4) | (x >> 4)) ^ 0x63);
+    s[static_cast<std::size_t>(i)] = y;
+  }
+  return s;
+}
+
+constexpr std::array<u8, 256> k_sbox = make_sbox();
+
+constexpr std::array<u8, 256> make_inv_sbox() noexcept {
+  std::array<u8, 256> inv{};
+  for (int i = 0; i < 256; ++i) inv[k_sbox[static_cast<std::size_t>(i)]] = static_cast<u8>(i);
+  return inv;
+}
+
+constexpr std::array<u8, 256> k_inv_sbox = make_inv_sbox();
+
+static_assert(k_sbox[0x00] == 0x63, "AES S-box sanity");
+static_assert(k_sbox[0x53] == 0xED, "AES S-box sanity");
+static_assert(k_inv_sbox[0x63] == 0x00, "AES inverse S-box sanity");
+
+constexpr u32 sub_word(u32 w) noexcept {
+  return (u32{k_sbox[(w >> 24) & 0xFF]} << 24) | (u32{k_sbox[(w >> 16) & 0xFF]} << 16) |
+         (u32{k_sbox[(w >> 8) & 0xFF]} << 8) | u32{k_sbox[w & 0xFF]};
+}
+
+constexpr u32 rot_word(u32 w) noexcept { return rotl32(w, 8); }
+
+// State is FIPS-197 column-major: byte i of the input maps to s[i].
+using state_t = std::array<u8, 16>;
+
+void add_round_key(state_t& s, const u32* rk) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    const u32 w = rk[c];
+    s[4 * c + 0] ^= static_cast<u8>(w >> 24);
+    s[4 * c + 1] ^= static_cast<u8>(w >> 16);
+    s[4 * c + 2] ^= static_cast<u8>(w >> 8);
+    s[4 * c + 3] ^= static_cast<u8>(w);
+  }
+}
+
+void sub_bytes(state_t& s) noexcept {
+  for (auto& b : s) b = k_sbox[b];
+}
+
+void inv_sub_bytes(state_t& s) noexcept {
+  for (auto& b : s) b = k_inv_sbox[b];
+}
+
+// Row r of the state lives at indices {r, r+4, r+8, r+12}.
+void shift_rows(state_t& s) noexcept {
+  state_t t = s;
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) s[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
+}
+
+void inv_shift_rows(state_t& s) noexcept {
+  state_t t = s;
+  for (int r = 1; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) s[r + 4 * ((c + r) % 4)] = t[r + 4 * c];
+}
+
+void mix_columns(state_t& s) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    u8* col = &s[4 * c];
+    const u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<u8>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<u8>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<u8>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<u8>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(state_t& s) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    u8* col = &s[4 * c];
+    const u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<u8>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
+    col[1] = static_cast<u8>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
+    col[2] = static_cast<u8>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
+    col[3] = static_cast<u8>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
+  }
+}
+
+aes_bits bits_from_key_len(std::size_t n) {
+  switch (n) {
+    case 16: return aes_bits::k128;
+    case 24: return aes_bits::k192;
+    case 32: return aes_bits::k256;
+    default: throw std::invalid_argument("aes: key must be 16, 24 or 32 bytes");
+  }
+}
+
+} // namespace
+
+aes::aes(std::span<const u8> key) : aes(key, bits_from_key_len(key.size())) {}
+
+aes::aes(std::span<const u8> key, aes_bits bits) {
+  nk_ = static_cast<int>(bits) / 32;
+  nr_ = nk_ + 6;
+  if (key.size() != static_cast<std::size_t>(nk_) * 4)
+    throw std::invalid_argument("aes: key length disagrees with requested width");
+
+  const int total = 4 * (nr_ + 1);
+  for (int i = 0; i < nk_; ++i)
+    round_keys_[static_cast<std::size_t>(i)] = load_be32(&key[static_cast<std::size_t>(4 * i)]);
+
+  u32 rcon = 0x01;
+  for (int i = nk_; i < total; ++i) {
+    u32 temp = round_keys_[static_cast<std::size_t>(i - 1)];
+    if (i % nk_ == 0) {
+      temp = sub_word(rot_word(temp)) ^ (rcon << 24);
+      rcon = gmul(static_cast<u8>(rcon), 2);
+    } else if (nk_ > 6 && i % nk_ == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[static_cast<std::size_t>(i)] =
+        round_keys_[static_cast<std::size_t>(i - nk_)] ^ temp;
+  }
+}
+
+std::string_view aes::name() const noexcept {
+  switch (nr_) {
+    case 10: return "AES-128";
+    case 12: return "AES-192";
+    default: return "AES-256";
+  }
+}
+
+void aes::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  state_t s;
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+
+  add_round_key(s, &round_keys_[0]);
+  for (int round = 1; round < nr_; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * round)]);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * nr_)]);
+
+  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+}
+
+void aes::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  state_t s;
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+
+  add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * nr_)]);
+  for (int round = nr_ - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * round)]);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, &round_keys_[0]);
+
+  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+}
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,45 @@
+#pragma once
+/// \file aes.hpp
+/// AES-128/192/256 per FIPS-197. This is the cipher the XOM [13] and
+/// AEGIS [14] engines surveyed in Section 3 pipeline in hardware; here it is
+/// a byte-oriented software model whose hardware cost is attached separately
+/// via edu::pipeline_model.
+///
+/// The S-box is computed at compile time from the GF(2^8) inverse plus the
+/// affine map, eliminating the possibility of a mistyped table.
+
+#include "crypto/block_cipher.hpp"
+
+#include <array>
+
+namespace buscrypt::crypto {
+
+/// Supported AES key widths.
+enum class aes_bits { k128 = 128, k192 = 192, k256 = 256 };
+
+/// FIPS-197 AES. Immutable after construction; safe to share across threads.
+class aes final : public block_cipher {
+ public:
+  /// \param key  16/24/32 bytes matching \p bits.
+  /// \throws std::invalid_argument when the key length disagrees with bits.
+  aes(std::span<const u8> key, aes_bits bits);
+
+  /// Convenience: deduce width from the key length (16/24/32 bytes).
+  explicit aes(std::span<const u8> key);
+
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 16; }
+  [[nodiscard]] std::string_view name() const noexcept override;
+
+  void encrypt_block(std::span<const u8> in, std::span<u8> out) const override;
+  void decrypt_block(std::span<const u8> in, std::span<u8> out) const override;
+
+  /// Number of rounds (10/12/14) — the figure hardware pipelines expose.
+  [[nodiscard]] int rounds() const noexcept { return nr_; }
+
+ private:
+  int nk_ = 0; // key words
+  int nr_ = 0; // rounds
+  std::array<u32, 60> round_keys_{}; // 4*(nr+1) words max (AES-256)
+};
+
+} // namespace buscrypt::crypto

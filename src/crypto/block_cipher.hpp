@@ -1,0 +1,44 @@
+#pragma once
+/// \file block_cipher.hpp
+/// Abstract block cipher, the contract every EDU core in the survey is built
+/// on (Fig. 2b). Implementations: AES (FIPS-197), DES/3DES (FIPS 46-3),
+/// Best's substitution/transposition cipher (Fig. 3), and the DS5002FP-style
+/// 8-bit cipher (Fig. 6).
+
+#include "common/types.hpp"
+
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+namespace buscrypt::crypto {
+
+/// A deterministic keyed permutation over fixed-size blocks.
+///
+/// Contract: in.size() == out.size() == block_size(); in and out may alias.
+/// decrypt_block(encrypt_block(x)) == x for every block x.
+class block_cipher {
+ public:
+  virtual ~block_cipher() = default;
+
+  /// Block width in bytes (8 for DES family, 16 for AES, 1 for DS5002FP).
+  [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;
+
+  /// Human-readable identifier used in benchmark tables.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Encrypt one block.
+  virtual void encrypt_block(std::span<const u8> in, std::span<u8> out) const = 0;
+
+  /// Decrypt one block.
+  virtual void decrypt_block(std::span<const u8> in, std::span<u8> out) const = 0;
+
+ protected:
+  /// Shared precondition check for implementations.
+  void check_block(std::span<const u8> in, std::span<const u8> out) const {
+    if (in.size() != block_size() || out.size() != block_size())
+      throw std::invalid_argument("block_cipher: span size != block_size()");
+  }
+};
+
+} // namespace buscrypt::crypto

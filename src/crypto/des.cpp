@@ -1,0 +1,179 @@
+#include "crypto/des.hpp"
+
+#include "common/bitops.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// FIPS 46-3 tables. All tables are 1-based bit positions counted from the
+// most significant bit, exactly as printed in the standard.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<u8, 64> k_ip = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr std::array<u8, 64> k_fp = {
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+
+constexpr std::array<u8, 48> k_e = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
+    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
+    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr std::array<u8, 32> k_p = {
+    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
+    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr std::array<u8, 56> k_pc1 = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr std::array<u8, 48> k_pc2 = {
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
+    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
+    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr std::array<u8, 16> k_shifts = {1, 1, 2, 2, 2, 2, 2, 2,
+                                         1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr u8 k_sboxes[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+// Apply a FIPS-style permutation: output bit i (MSB-first, out_bits wide)
+// takes input bit table[i] (1-based from MSB of an in_bits-wide value).
+template <std::size_t N>
+constexpr u64 permute(u64 in, const std::array<u8, N>& table, unsigned in_bits) noexcept {
+  u64 out = 0;
+  for (std::size_t i = 0; i < N; ++i) {
+    out <<= 1;
+    out |= (in >> (in_bits - table[i])) & 1;
+  }
+  return out;
+}
+
+// The Feistel f-function: expand R to 48 bits, XOR the round key, run the
+// 8 S-boxes, then the P permutation.
+u32 feistel(u32 r, u64 subkey) noexcept {
+  const u64 expanded = permute(u64{r}, k_e, 32) ^ subkey;
+  u32 sboxed = 0;
+  for (int box = 0; box < 8; ++box) {
+    const auto six = static_cast<u32>((expanded >> (42 - 6 * box)) & 0x3F);
+    const u32 row = ((six & 0x20) >> 4) | (six & 0x01);
+    const u32 col = (six >> 1) & 0x0F;
+    sboxed = (sboxed << 4) | k_sboxes[box][row * 16 + col];
+  }
+  return static_cast<u32>(permute(u64{sboxed}, k_p, 32));
+}
+
+u64 crypt_u64(u64 block, const std::array<u64, 16>& subkeys, bool decrypt) noexcept {
+  const u64 permuted = permute(block, k_ip, 64);
+  u32 l = static_cast<u32>(permuted >> 32);
+  u32 r = static_cast<u32>(permuted);
+  for (int round = 0; round < 16; ++round) {
+    const u64 k = subkeys[static_cast<std::size_t>(decrypt ? 15 - round : round)];
+    const u32 next_r = l ^ feistel(r, k);
+    l = r;
+    r = next_r;
+  }
+  // Final swap: the standard applies FP to (R16, L16).
+  const u64 preoutput = (u64{r} << 32) | u64{l};
+  return permute(preoutput, k_fp, 64);
+}
+
+std::span<const u8> subkey_bytes(std::span<const u8> key, std::size_t index) {
+  return key.subspan(index * 8, 8);
+}
+
+} // namespace
+
+des::des(std::span<const u8> key) {
+  if (key.size() != 8) throw std::invalid_argument("des: key must be 8 bytes");
+  const u64 k = load_be64(key.data());
+  u64 cd = permute(k, k_pc1, 64); // 56 bits: C (28) || D (28)
+  u32 c = static_cast<u32>(cd >> 28) & 0x0FFFFFFF;
+  u32 d = static_cast<u32>(cd) & 0x0FFFFFFF;
+  for (int round = 0; round < 16; ++round) {
+    const unsigned s = k_shifts[static_cast<std::size_t>(round)];
+    c = ((c << s) | (c >> (28 - s))) & 0x0FFFFFFF;
+    d = ((d << s) | (d >> (28 - s))) & 0x0FFFFFFF;
+    const u64 merged = (u64{c} << 28) | u64{d};
+    subkeys_[static_cast<std::size_t>(round)] = permute(merged, k_pc2, 56);
+  }
+}
+
+u64 des::encrypt_u64(u64 block) const noexcept { return crypt_u64(block, subkeys_, false); }
+u64 des::decrypt_u64(u64 block) const noexcept { return crypt_u64(block, subkeys_, true); }
+
+void des::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  store_be64(out.data(), encrypt_u64(load_be64(in.data())));
+}
+
+void des::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  store_be64(out.data(), decrypt_u64(load_be64(in.data())));
+}
+
+triple_des::triple_des(std::span<const u8> key)
+    : k1_(key.size() == 16 || key.size() == 24
+              ? subkey_bytes(key, 0)
+              : throw std::invalid_argument("3des: key must be 16 or 24 bytes")),
+      k2_(subkey_bytes(key, 1)),
+      k3_(subkey_bytes(key, key.size() == 24 ? 2 : 0)) {}
+
+void triple_des::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  const u64 x = load_be64(in.data());
+  store_be64(out.data(), k3_.encrypt_u64(k2_.decrypt_u64(k1_.encrypt_u64(x))));
+}
+
+void triple_des::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  const u64 x = load_be64(in.data());
+  store_be64(out.data(), k1_.decrypt_u64(k2_.encrypt_u64(k3_.decrypt_u64(x))));
+}
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,54 @@
+#pragma once
+/// \file des.hpp
+/// DES and Triple-DES (EDE) per FIPS 46-3. These are the cores of the
+/// General Instrument patent engine (Fig. 5, 3-DES in CBC), the Dallas
+/// DS5240 (Fig. 6, "true DES or 3-DES"), and the Gilmont pipelined 3-DES
+/// prefetch engine surveyed in Section 3.
+
+#include "crypto/block_cipher.hpp"
+
+#include <array>
+
+namespace buscrypt::crypto {
+
+/// Single DES, 64-bit block, 56-bit effective key (8 key bytes, parity
+/// bits ignored as in real hardware).
+class des final : public block_cipher {
+ public:
+  /// \param key 8 bytes; bit 0 of each byte is the (ignored) parity bit.
+  explicit des(std::span<const u8> key);
+
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 8; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "DES"; }
+
+  void encrypt_block(std::span<const u8> in, std::span<u8> out) const override;
+  void decrypt_block(std::span<const u8> in, std::span<u8> out) const override;
+
+  /// Raw 64-bit single-block primitives used by triple_des to avoid
+  /// byte-span repacking between stages.
+  [[nodiscard]] u64 encrypt_u64(u64 block) const noexcept;
+  [[nodiscard]] u64 decrypt_u64(u64 block) const noexcept;
+
+ private:
+  std::array<u64, 16> subkeys_{}; // 48-bit round keys, right-aligned
+};
+
+/// Triple DES in EDE configuration. Supports 2-key (K1,K2,K1) and 3-key
+/// bundles. With K1 == K2 == K3 it degenerates to single DES, which the
+/// test-suite uses as a cross-check.
+class triple_des final : public block_cipher {
+ public:
+  /// \param key 16 bytes (2-key EDE) or 24 bytes (3-key EDE).
+  explicit triple_des(std::span<const u8> key);
+
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 8; }
+  [[nodiscard]] std::string_view name() const noexcept override { return "3DES"; }
+
+  void encrypt_block(std::span<const u8> in, std::span<u8> out) const override;
+  void decrypt_block(std::span<const u8> in, std::span<u8> out) const override;
+
+ private:
+  des k1_, k2_, k3_;
+};
+
+} // namespace buscrypt::crypto

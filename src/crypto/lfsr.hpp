@@ -1,0 +1,75 @@
+#pragma once
+/// \file lfsr.hpp
+/// Linear-feedback shift register keystream generators. Section 4 notes the
+/// cache-side keystream "must be sufficiently random to be secure"; LFSRs
+/// are the classic cheap-hardware generator that FAILS that bar (linear,
+/// recoverable from 2n output bits) — we keep one precisely so the
+/// benchmarks can show the speed/security trade-off against RC4/Trivium.
+
+#include "crypto/stream_cipher.hpp"
+
+namespace buscrypt::crypto {
+
+/// 64-bit Galois LFSR with a maximal-length tap polynomial, emitting one
+/// byte per 8 shifts. Single-cycle-per-bit in hardware; the associated
+/// timing model is essentially free, which is why Fig. 7b designs are
+/// tempted by it.
+class galois_lfsr final : public stream_cipher {
+ public:
+  /// Key/iv are folded (XOR) into the 64-bit state; a zero state is
+  /// remapped to a fixed nonzero constant (an LFSR never leaves zero).
+  galois_lfsr(std::span<const u8> key, std::span<const u8> iv);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "LFSR-64"; }
+
+  void reseed(std::span<const u8> key, std::span<const u8> iv) override;
+  void keystream(std::span<u8> out) override;
+
+  /// Expose the raw state so the attack suite can demonstrate state
+  /// recovery from observed keystream (linearity).
+  [[nodiscard]] u64 state() const noexcept { return state_; }
+
+ private:
+  u64 state_ = 1;
+};
+
+/// Trivium (eSTREAM hardware portfolio): 288-bit state, 80-bit key/IV —
+/// the "sufficiently random" counterpart to the LFSR with nearly the same
+/// hardware cost class.
+class trivium final : public stream_cipher {
+ public:
+  /// \param key up to 10 bytes (80 bits), \param iv up to 10 bytes.
+  trivium(std::span<const u8> key, std::span<const u8> iv);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "Trivium"; }
+
+  void reseed(std::span<const u8> key, std::span<const u8> iv) override;
+  void keystream(std::span<u8> out) override;
+
+ private:
+  // One of the three Trivium shift registers (93/84/111 bits), stored in
+  // two words. shift_in() pushes the new bit at spec position s1, so the
+  // bit previously at index i moves to i+1, matching the spec's rotation.
+  struct shiftreg {
+    u64 w0 = 0;
+    u64 w1 = 0;
+    [[nodiscard]] bool get(unsigned i) const noexcept {
+      return i < 64 ? ((w0 >> i) & 1) != 0 : ((w1 >> (i - 64)) & 1) != 0;
+    }
+    void set(unsigned i, bool v) noexcept {
+      if (i < 64) w0 = (w0 & ~(u64{1} << i)) | (u64{v} << i);
+      else w1 = (w1 & ~(u64{1} << (i - 64))) | (u64{v} << (i - 64));
+    }
+    void shift_in(bool bit) noexcept {
+      w1 = (w1 << 1) | (w0 >> 63);
+      w0 = (w0 << 1) | u64{bit};
+    }
+  };
+
+  [[nodiscard]] bool step() noexcept;
+  [[nodiscard]] u8 next_byte() noexcept;
+
+  shiftreg a_, b_, c_;
+};
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,62 @@
+#include "crypto/mac.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::crypto {
+
+std::array<u8, 32> hmac_sha256(std::span<const u8> key, std::span<const u8> data) {
+  std::array<u8, 64> k_block{};
+  if (key.size() > 64) {
+    const auto digest = sha256::hash(key);
+    for (std::size_t i = 0; i < digest.size(); ++i) k_block[i] = digest[i];
+  } else {
+    for (std::size_t i = 0; i < key.size(); ++i) k_block[i] = key[i];
+  }
+
+  std::array<u8, 64> ipad{};
+  std::array<u8, 64> opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<u8>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<u8>(k_block[i] ^ 0x5c);
+  }
+
+  sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.digest();
+
+  sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.digest();
+}
+
+bytes hmac_sha256_tag(std::span<const u8> key, std::span<const u8> data,
+                      std::size_t tag_len) {
+  if (tag_len == 0 || tag_len > 32)
+    throw std::invalid_argument("hmac tag length must be 1..32");
+  const auto full = hmac_sha256(key, data);
+  return bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(tag_len));
+}
+
+bytes cbc_mac(const block_cipher& c, std::span<const u8> data) {
+  const std::size_t bs = c.block_size();
+  if (data.size() % bs != 0)
+    throw std::invalid_argument("cbc_mac: message must be block-multiple");
+  bytes state(bs, 0);
+  bytes scratch(bs);
+  for (std::size_t off = 0; off < data.size(); off += bs) {
+    for (std::size_t i = 0; i < bs; ++i) scratch[i] = static_cast<u8>(state[i] ^ data[off + i]);
+    c.encrypt_block(scratch, state);
+  }
+  return state;
+}
+
+bool tag_equal(std::span<const u8> a, std::span<const u8> b) noexcept {
+  if (a.size() != b.size()) return false;
+  u8 acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<u8>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+} // namespace buscrypt::crypto

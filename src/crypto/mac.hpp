@@ -1,0 +1,32 @@
+#pragma once
+/// \file mac.hpp
+/// Message authentication: HMAC-SHA256 (RFC 2104) and block-cipher CBC-MAC.
+/// The General Instrument engine (Fig. 5) "offer[s] the possibility to
+/// authenticate the data coming from external memory thanks to a keyed hash
+/// algorithm" — gi_edu uses these as that keyed hash.
+
+#include "crypto/block_cipher.hpp"
+#include "crypto/sha256.hpp"
+
+#include <array>
+
+namespace buscrypt::crypto {
+
+/// HMAC-SHA256 over \p data with \p key (any length).
+[[nodiscard]] std::array<u8, 32> hmac_sha256(std::span<const u8> key,
+                                             std::span<const u8> data);
+
+/// Truncated HMAC tag of \p tag_len bytes (hardware engines store short
+/// per-line tags; 4-8 bytes is typical).
+[[nodiscard]] bytes hmac_sha256_tag(std::span<const u8> key,
+                                    std::span<const u8> data,
+                                    std::size_t tag_len);
+
+/// Classic CBC-MAC with zero IV over a block-multiple message. Only safe
+/// for fixed-length messages — which per-cache-line tags are.
+[[nodiscard]] bytes cbc_mac(const block_cipher& c, std::span<const u8> data);
+
+/// Constant-time tag comparison.
+[[nodiscard]] bool tag_equal(std::span<const u8> a, std::span<const u8> b) noexcept;
+
+} // namespace buscrypt::crypto

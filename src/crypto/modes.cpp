@@ -1,0 +1,197 @@
+#include "crypto/modes.hpp"
+
+#include "common/bitops.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::crypto {
+
+namespace {
+
+void check_blocked(const block_cipher& c, std::span<const u8> in, std::span<const u8> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("mode: in/out size mismatch");
+  if (in.size() % c.block_size() != 0)
+    throw std::invalid_argument("mode: data not a multiple of the block size");
+}
+
+} // namespace
+
+void ecb_encrypt(const block_cipher& c, std::span<const u8> in, std::span<u8> out) {
+  check_blocked(c, in, out);
+  const std::size_t bs = c.block_size();
+  for (std::size_t off = 0; off < in.size(); off += bs)
+    c.encrypt_block(in.subspan(off, bs), out.subspan(off, bs));
+}
+
+void ecb_decrypt(const block_cipher& c, std::span<const u8> in, std::span<u8> out) {
+  check_blocked(c, in, out);
+  const std::size_t bs = c.block_size();
+  for (std::size_t off = 0; off < in.size(); off += bs)
+    c.decrypt_block(in.subspan(off, bs), out.subspan(off, bs));
+}
+
+void cbc_encrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out) {
+  check_blocked(c, in, out);
+  const std::size_t bs = c.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cbc: iv size != block size");
+
+  bytes chain(iv.begin(), iv.end());
+  bytes scratch(bs);
+  for (std::size_t off = 0; off < in.size(); off += bs) {
+    for (std::size_t i = 0; i < bs; ++i) scratch[i] = static_cast<u8>(in[off + i] ^ chain[i]);
+    c.encrypt_block(scratch, out.subspan(off, bs));
+    chain.assign(out.begin() + static_cast<std::ptrdiff_t>(off),
+                 out.begin() + static_cast<std::ptrdiff_t>(off + bs));
+  }
+}
+
+void cbc_decrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out) {
+  check_blocked(c, in, out);
+  const std::size_t bs = c.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cbc: iv size != block size");
+
+  bytes chain(iv.begin(), iv.end());
+  bytes ct(bs);
+  for (std::size_t off = 0; off < in.size(); off += bs) {
+    // Copy first: in/out may alias.
+    ct.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + bs));
+    c.decrypt_block(ct, out.subspan(off, bs));
+    for (std::size_t i = 0; i < bs; ++i) out[off + i] ^= chain[i];
+    chain = ct;
+  }
+}
+
+void ctr_crypt(const block_cipher& c, u64 nonce, u64 initial_counter,
+               std::span<const u8> in, std::span<u8> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("ctr: in/out size mismatch");
+  const std::size_t bs = c.block_size();
+  bytes counter_block(bs, 0);
+  bytes pad(bs);
+
+  u64 ctr = initial_counter;
+  std::size_t off = 0;
+  while (off < in.size()) {
+    // Counter block layout: nonce in the top 8 bytes (when they exist),
+    // counter in the bottom 8; for 8-byte ciphers they are XORed together.
+    if (bs >= 16) {
+      store_be64(counter_block.data(), nonce);
+      store_be64(counter_block.data() + bs - 8, ctr);
+    } else {
+      store_be64(counter_block.data(), nonce ^ ctr);
+    }
+    c.encrypt_block(counter_block, pad);
+    const std::size_t n = std::min(bs, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = static_cast<u8>(in[off + i] ^ pad[i]);
+    off += n;
+    ++ctr;
+  }
+}
+
+void cfb_encrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out) {
+  check_blocked(c, in, out);
+  const std::size_t bs = c.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cfb: iv size != block size");
+
+  bytes feedback(iv.begin(), iv.end());
+  bytes pad(bs);
+  for (std::size_t off = 0; off < in.size(); off += bs) {
+    c.encrypt_block(feedback, pad);
+    for (std::size_t i = 0; i < bs; ++i) out[off + i] = static_cast<u8>(in[off + i] ^ pad[i]);
+    feedback.assign(out.begin() + static_cast<std::ptrdiff_t>(off),
+                    out.begin() + static_cast<std::ptrdiff_t>(off + bs));
+  }
+}
+
+void cfb_decrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out) {
+  check_blocked(c, in, out);
+  const std::size_t bs = c.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("cfb: iv size != block size");
+
+  bytes feedback(iv.begin(), iv.end());
+  bytes pad(bs);
+  bytes ct(bs);
+  for (std::size_t off = 0; off < in.size(); off += bs) {
+    // Copy first: in/out may alias.
+    ct.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + bs));
+    c.encrypt_block(feedback, pad); // forward cipher only
+    for (std::size_t i = 0; i < bs; ++i) out[off + i] = static_cast<u8>(ct[i] ^ pad[i]);
+    feedback = ct;
+  }
+}
+
+void ofb_crypt(const block_cipher& c, std::span<const u8> iv,
+               std::span<const u8> in, std::span<u8> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("ofb: in/out size mismatch");
+  const std::size_t bs = c.block_size();
+  if (iv.size() != bs) throw std::invalid_argument("ofb: iv size != block size");
+
+  bytes state(iv.begin(), iv.end());
+  std::size_t off = 0;
+  while (off < in.size()) {
+    c.encrypt_block(state, state);
+    const std::size_t n = std::min(bs, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = static_cast<u8>(in[off + i] ^ state[i]);
+    off += n;
+  }
+}
+
+bytes pkcs7_pad(std::span<const u8> in, std::size_t block) {
+  if (block == 0 || block > 255) throw std::invalid_argument("pkcs7: bad block size");
+  const std::size_t pad = block - (in.size() % block);
+  bytes out(in.begin(), in.end());
+  out.insert(out.end(), pad, static_cast<u8>(pad));
+  return out;
+}
+
+bytes pkcs7_unpad(std::span<const u8> in, std::size_t block) {
+  if (in.empty() || in.size() % block != 0)
+    throw std::invalid_argument("pkcs7: corrupt padded length");
+  const u8 pad = in.back();
+  if (pad == 0 || pad > block || pad > in.size())
+    throw std::invalid_argument("pkcs7: corrupt pad byte");
+  for (std::size_t i = in.size() - pad; i < in.size(); ++i)
+    if (in[i] != pad) throw std::invalid_argument("pkcs7: inconsistent padding");
+  return bytes(in.begin(), in.end() - pad);
+}
+
+void address_pad::generate(addr_t addr, std::span<u8> out) const {
+  const std::size_t bs = cipher_->block_size();
+  bytes counter_block(bs, 0);
+  bytes pad(bs);
+
+  std::size_t produced = 0;
+  addr_t block_base = addr - (addr % bs);
+  while (produced < out.size()) {
+    if (bs >= 16) {
+      store_be64(counter_block.data(), tweak_);
+      store_be64(counter_block.data() + bs - 8, block_base / bs);
+    } else {
+      store_be64(counter_block.data(), tweak_ ^ (block_base / bs));
+    }
+    cipher_->encrypt_block(counter_block, pad);
+    const std::size_t skip = produced == 0 ? static_cast<std::size_t>(addr - block_base) : 0;
+    const std::size_t n = std::min(bs - skip, out.size() - produced);
+    for (std::size_t i = 0; i < n; ++i) out[produced + i] = pad[skip + i];
+    produced += n;
+    block_base += bs;
+  }
+}
+
+std::size_t address_pad::blocks_covering(addr_t addr, std::size_t len) const noexcept {
+  if (len == 0) return 0;
+  const std::size_t bs = cipher_->block_size();
+  const addr_t first = addr / bs;
+  const addr_t last = (addr + len - 1) / bs;
+  return static_cast<std::size_t>(last - first + 1);
+}
+
+} // namespace buscrypt::crypto

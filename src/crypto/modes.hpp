@@ -1,0 +1,79 @@
+#pragma once
+/// \file modes.hpp
+/// Block-cipher modes of operation discussed in Section 2.2:
+///   - ECB: "a same data will be ciphered to the same value; which is the
+///     main security weakness of that mode";
+///   - CBC: "improved security ... [but] limited in a processor-memory
+///     system due to the random data access problem (JUMP instructions)";
+///   - CTR: the seekable mode the AEGIS IV discussion gestures at — we
+///     include it because it is what makes the stream-EDU random-access.
+/// Plus address_pad, the seekable one-time-pad generator bus EDUs use.
+
+#include "crypto/block_cipher.hpp"
+
+#include <array>
+
+namespace buscrypt::crypto {
+
+/// ECB: each block enciphered independently. Data length must be a
+/// multiple of the cipher block size.
+void ecb_encrypt(const block_cipher& c, std::span<const u8> in, std::span<u8> out);
+void ecb_decrypt(const block_cipher& c, std::span<const u8> in, std::span<u8> out);
+
+/// CBC with explicit IV (iv.size() == block size). The whole buffer is one
+/// chain; random access into the result requires deciphering from the IV —
+/// exactly the JUMP-instruction problem the paper describes.
+void cbc_encrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out);
+void cbc_decrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out);
+
+/// CTR mode: pad block i = E_K(nonce ⊕ i); fully seekable, encrypt ==
+/// decrypt. \p nonce is folded into the counter block.
+void ctr_crypt(const block_cipher& c, u64 nonce, u64 initial_counter,
+               std::span<const u8> in, std::span<u8> out);
+
+/// CFB (full-block feedback): c_i = E(c_{i-1}) ^ p_i. Self-synchronising;
+/// decryption uses only the forward cipher — relevant for engines that
+/// implement just the encrypt datapath in hardware.
+void cfb_encrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out);
+void cfb_decrypt(const block_cipher& c, std::span<const u8> iv,
+                 std::span<const u8> in, std::span<u8> out);
+
+/// OFB: keystream o_i = E(o_{i-1}), data XORed. A stream mode whose
+/// keystream is data-independent (precomputable) but NOT seekable — the
+/// contrast to CTR that motivates address pads for bus encryption.
+void ofb_crypt(const block_cipher& c, std::span<const u8> iv,
+               std::span<const u8> in, std::span<u8> out);
+
+/// PKCS#7 padding helpers for byte streams that are not block-multiple
+/// (used by the Fig. 1 software-delivery protocol).
+[[nodiscard]] bytes pkcs7_pad(std::span<const u8> in, std::size_t block);
+[[nodiscard]] bytes pkcs7_unpad(std::span<const u8> in, std::size_t block);
+
+/// Seekable pad generator: pad(addr) = E_K(addr-block), the hardware trick
+/// that lets a stream EDU start keystream generation from the address alone,
+/// in parallel with the memory fetch (Section 2.2's stream-cipher argument).
+class address_pad {
+ public:
+  /// \param cipher block cipher used as the PRF; referenced, not owned.
+  /// \param tweak  per-device constant mixed into every counter block.
+  address_pad(const block_cipher& cipher, u64 tweak) : cipher_(&cipher), tweak_(tweak) {}
+
+  /// Fill \p out with pad bytes for byte-address \p addr. The pad for a
+  /// given address is stable across calls (deterministic), so write-back
+  /// re-encryption reproduces it. Uses one cipher invocation per
+  /// block_size() bytes, aligned down to the enclosing pad block.
+  void generate(addr_t addr, std::span<u8> out) const;
+
+  /// Cipher invocations needed to cover \p len bytes starting at \p addr —
+  /// the number the timing model charges for.
+  [[nodiscard]] std::size_t blocks_covering(addr_t addr, std::size_t len) const noexcept;
+
+ private:
+  const block_cipher* cipher_;
+  u64 tweak_;
+};
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,36 @@
+#include "crypto/rc4.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace buscrypt::crypto {
+
+rc4::rc4(std::span<const u8> key) { reseed(key, {}); }
+
+void rc4::reseed(std::span<const u8> key, std::span<const u8> iv) {
+  bytes material(key.begin(), key.end());
+  material.insert(material.end(), iv.begin(), iv.end());
+  if (material.empty() || material.size() > 256)
+    throw std::invalid_argument("rc4: key+iv must be 1..256 bytes");
+
+  for (int i = 0; i < 256; ++i) s_[static_cast<std::size_t>(i)] = static_cast<u8>(i);
+  u8 j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<u8>(j + s_[static_cast<std::size_t>(i)] +
+                        material[static_cast<std::size_t>(i) % material.size()]);
+    std::swap(s_[static_cast<std::size_t>(i)], s_[j]);
+  }
+  i_ = 0;
+  j_ = 0;
+}
+
+void rc4::keystream(std::span<u8> out) {
+  for (auto& b : out) {
+    i_ = static_cast<u8>(i_ + 1);
+    j_ = static_cast<u8>(j_ + s_[i_]);
+    std::swap(s_[i_], s_[j_]);
+    b = s_[static_cast<u8>(s_[i_] + s_[j_])];
+  }
+}
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,31 @@
+#pragma once
+/// \file rc4.hpp
+/// RC4 — named in Section 1 as the canonical stream-cipher example.
+/// Functionality verified against the RFC 6229 keystream vectors.
+/// RC4 has no IV input; callers that need per-line streams fold the
+/// address into the key before reseeding (as the stream EDU does).
+
+#include "crypto/stream_cipher.hpp"
+
+#include <array>
+
+namespace buscrypt::crypto {
+
+/// Classic RC4 (KSA + PRGA). Key length 1..256 bytes.
+class rc4 final : public stream_cipher {
+ public:
+  explicit rc4(std::span<const u8> key);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "RC4"; }
+
+  /// The IV, when present, is appended to the key during KSA.
+  void reseed(std::span<const u8> key, std::span<const u8> iv) override;
+  void keystream(std::span<u8> out) override;
+
+ private:
+  std::array<u8, 256> s_{};
+  u8 i_ = 0;
+  u8 j_ = 0;
+};
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,43 @@
+#pragma once
+/// \file sha256.hpp
+/// SHA-256 (FIPS 180-4). Substrate for the keyed-hash authentication the
+/// General Instrument patent attaches to fetched data (Fig. 5), and for
+/// HMAC in the key-exchange example.
+
+#include "common/types.hpp"
+
+#include <array>
+#include <span>
+
+namespace buscrypt::crypto {
+
+/// Incremental SHA-256. update() any number of times, then digest().
+class sha256 {
+ public:
+  static constexpr std::size_t digest_size = 32;
+
+  sha256() noexcept { reset(); }
+
+  /// Restart for a fresh message.
+  void reset() noexcept;
+
+  /// Absorb message bytes.
+  void update(std::span<const u8> data) noexcept;
+
+  /// Finalize and return the 32-byte digest. The object must be reset()
+  /// before further use.
+  [[nodiscard]] std::array<u8, digest_size> digest() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static std::array<u8, digest_size> hash(std::span<const u8> data) noexcept;
+
+ private:
+  void compress(const u8* block) noexcept;
+
+  std::array<u32, 8> h_{};
+  std::array<u8, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  u64 total_len_ = 0;
+};
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,20 @@
+#include "crypto/stream_cipher.hpp"
+
+#include <array>
+
+#include "common/bitops.hpp"
+
+namespace buscrypt::crypto {
+
+void stream_cipher::apply(std::span<u8> buf) {
+  std::array<u8, 256> pad;
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const std::size_t n = std::min(pad.size(), buf.size() - done);
+    keystream(std::span<u8>(pad.data(), n));
+    xor_bytes(buf.subspan(done, n), std::span<const u8>(pad.data(), n));
+    done += n;
+  }
+}
+
+} // namespace buscrypt::crypto

@@ -1,0 +1,34 @@
+#pragma once
+/// \file stream_cipher.hpp
+/// Stream cipher contract (Fig. 2a): a keyed keystream generator whose
+/// output is XORed with the data. Section 2.2's performance argument —
+/// keystream generation can be parallelised with the external data fetch —
+/// is modelled by the EDUs; this file only defines functional behaviour.
+
+#include "common/types.hpp"
+
+#include <span>
+#include <string_view>
+
+namespace buscrypt::crypto {
+
+/// Sequential keystream generator. reseed() restarts the stream for a new
+/// (key, iv) pair; generators are cheap to reseed, matching hardware where
+/// the keystream unit is re-initialised per cache line or per page.
+class stream_cipher {
+ public:
+  virtual ~stream_cipher() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Restart the generator with a key and a nonce/IV (may be empty).
+  virtual void reseed(std::span<const u8> key, std::span<const u8> iv) = 0;
+
+  /// Produce the next |out| keystream bytes.
+  virtual void keystream(std::span<u8> out) = 0;
+
+  /// XOR the next keystream bytes into \p buf (encrypt == decrypt).
+  void apply(std::span<u8> buf);
+};
+
+} // namespace buscrypt::crypto

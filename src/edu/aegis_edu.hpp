@@ -1,0 +1,69 @@
+#pragma once
+/// \file aegis_edu.hpp
+/// The AEGIS bus-encryption engine [14] as surveyed: pipelined AES
+/// (300,000 gates) in CBC mode where "the ciphering block chain
+/// corresponds to a cache block, thus allowing random access to external
+/// memory", with an IV "composed by the block address and by a random
+/// vector; to thwart the birthday attack it is possible to replace the
+/// random vector by a counter". The survey also notes "the fetch
+/// instruction cannot be provided to the processor until an entire cache
+/// block is deciphered" — modelled as no-critical-word-first.
+
+#include "crypto/block_cipher.hpp"
+#include "edu/edu.hpp"
+#include "edu/timing.hpp"
+
+#include <unordered_map>
+
+namespace buscrypt::edu {
+
+/// How the per-line IV nonce is produced (the ablation in T4).
+enum class aegis_iv_mode {
+  random_vector, ///< fresh random per write — birthday-attack exposed
+  counter,       ///< per-line monotonic counter — collision-free until wrap
+};
+
+struct aegis_edu_config {
+  std::size_t line_bytes = 32;
+  aegis_iv_mode iv_mode = aegis_iv_mode::counter;
+  pipeline_model core = aes_pipelined(); // the 300 k-gate pipelined AES
+  u64 seed = 0xAE615ULL;
+};
+
+/// Per-cache-line CBC engine with (address, nonce)-derived IVs.
+class aegis_edu final : public edu {
+ public:
+  aegis_edu(sim::memory_port& lower, const crypto::block_cipher& cipher,
+            aegis_edu_config cfg);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "AEGIS-AES-CBC"; }
+
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  [[nodiscard]] std::size_t preferred_chunk() const noexcept override {
+    return cfg_.line_bytes;
+  }
+
+  /// On-chip nonce table footprint for a memory of \p mem_bytes
+  /// (8 bytes per line).
+  [[nodiscard]] std::size_t nonce_ram_bytes(std::size_t mem_bytes) const noexcept {
+    return mem_bytes / cfg_.line_bytes * 8;
+  }
+
+  /// Nonce values handed out so far (test hook for the birthday study).
+  [[nodiscard]] const std::unordered_map<addr_t, u64>& nonces() const noexcept {
+    return nonces_;
+  }
+
+ private:
+  void derive_iv(addr_t line_addr, u64 nonce, std::span<u8> iv) const;
+  [[nodiscard]] u64 nonce_for(addr_t line_addr) const noexcept;
+
+  const crypto::block_cipher* cipher_;
+  aegis_edu_config cfg_;
+  std::unordered_map<addr_t, u64> nonces_;
+  u64 counter_state_;
+};
+
+} // namespace buscrypt::edu

@@ -1,0 +1,64 @@
+#pragma once
+/// \file block_edu.hpp
+/// The classic Fig. 2c engine: a block cipher between cache and memory
+/// controller. Supports ECB (deterministic — the weakness Section 2.2
+/// names) and per-line CBC with an address-derived IV (the AEGIS fix that
+/// restores random access while keeping chaining).
+///
+/// Sub-granule writes trigger the paper's five-step penalty: "Read the
+/// block from memory, Decipher it, Modify the corresponding sequence into
+/// the block, Re-cipher it, Write it back in memory."
+
+#include "crypto/block_cipher.hpp"
+#include "edu/edu.hpp"
+#include "edu/timing.hpp"
+
+namespace buscrypt::edu {
+
+enum class block_mode {
+  ecb,      ///< independent blocks; same plaintext -> same ciphertext
+  cbc_line, ///< CBC chained within each line-sized granule, IV = E(tweak ^ addr)
+};
+
+struct block_edu_config {
+  block_mode mode = block_mode::ecb;
+  pipeline_model core = aes_pipelined();
+  std::size_t chain_bytes = 32; ///< CBC granule (cache-line sized)
+  u64 iv_tweak = 0x0DDB1A5E5BA11ADULL;
+};
+
+/// Block-cipher EDU between cache and memory controller.
+class block_edu : public edu {
+ public:
+  /// \param cipher functional core; referenced, not owned. Its
+  ///        block_size() must equal cfg.core.block_bytes.
+  block_edu(sim::memory_port& lower, const crypto::block_cipher& cipher,
+            block_edu_config cfg);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  [[nodiscard]] std::size_t preferred_chunk() const noexcept override { return granule_; }
+  [[nodiscard]] const block_edu_config& config() const noexcept { return cfg_; }
+
+ protected:
+  /// Functional transform of one granule-aligned range.
+  void encrypt_range(addr_t addr, std::span<u8> buf);
+  void decrypt_range(addr_t addr, std::span<u8> buf);
+
+  /// Timing charged for ciphering \p nbytes on each path.
+  [[nodiscard]] virtual cycles decrypt_time(std::size_t nbytes);
+  [[nodiscard]] virtual cycles encrypt_time(std::size_t nbytes);
+
+ private:
+  void derive_iv(addr_t granule_addr, std::span<u8> iv) const;
+
+  const crypto::block_cipher* cipher_;
+  block_edu_config cfg_;
+  std::size_t granule_; ///< alignment unit: block (ECB) or chain (CBC)
+  std::string name_;
+};
+
+} // namespace buscrypt::edu

@@ -1,0 +1,72 @@
+#include "edu/cacheside_edu.hpp"
+
+#include "common/bitops.hpp"
+
+#include <algorithm>
+
+namespace buscrypt::edu {
+
+cacheside_edu::cacheside_edu(sim::cache& l1, const crypto::block_cipher& prf,
+                             cacheside_edu_config cfg)
+    : edu(l1), cache_(&l1), pad_(prf, cfg.tweak), cfg_(cfg) {}
+
+void cacheside_edu::pad_for(addr_t addr, std::span<u8> pad_out) {
+  pad_.generate(addr, pad_out);
+  stats_.cipher_blocks += pad_.blocks_covering(addr, pad_out.size());
+}
+
+cycles cacheside_edu::access(addr_t addr, std::span<u8> inout, bool is_write,
+                             std::span<const u8> wdata) {
+  const bool was_resident = cache_->contains(addr);
+  const sim::cache_config& cc = cache_->config();
+
+  cycles below;
+  if (is_write) {
+    // Encrypt the store data, then let the (ciphertext) cache absorb it.
+    bytes ct(wdata.begin(), wdata.end());
+    bytes pad(ct.size());
+    pad_for(addr, pad);
+    xor_bytes(ct, pad);
+    below = lower_->write(addr, ct);
+    ++stats_.writes;
+  } else {
+    below = lower_->read(addr, inout);
+    bytes pad(inout.size());
+    pad_for(addr, pad);
+    xor_bytes(inout, pad);
+    ++stats_.reads;
+  }
+
+  // The cipher stage sits on the CPU<->cache path: charged on EVERY access.
+  cycles total = below + cfg_.xor_cycles;
+  stats_.crypto_cycles += cfg_.xor_cycles;
+
+  if (!was_resident) {
+    // A line (re)entered the cache: its keystream must be regenerated into
+    // the keystream RAM. Generation runs concurrently with the external
+    // fetch; only the overrun beyond the fetch is exposed. The fetch time
+    // is what the cache charged beyond its hit latency.
+    const cycles fetch_window = below > cc.hit_latency ? below - cc.hit_latency : 0;
+    const addr_t line_addr = addr - addr % cc.line_size;
+    const cycles ks =
+        cfg_.pad_core.time_parallel(pad_.blocks_covering(line_addr, cc.line_size));
+    stats_.cipher_blocks += pad_.blocks_covering(line_addr, cc.line_size);
+    if (ks > fetch_window) {
+      const cycles over = ks - fetch_window;
+      total += over;
+      overrun_ += over;
+      stats_.crypto_cycles += over;
+    }
+  }
+  return total;
+}
+
+cycles cacheside_edu::read(addr_t addr, std::span<u8> out) {
+  return access(addr, out, /*is_write=*/false, {});
+}
+
+cycles cacheside_edu::write(addr_t addr, std::span<const u8> in) {
+  return access(addr, {}, /*is_write=*/true, in);
+}
+
+} // namespace buscrypt::edu

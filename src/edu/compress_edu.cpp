@@ -1,0 +1,170 @@
+#include "edu/compress_edu.hpp"
+
+#include "common/bitops.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace buscrypt::edu {
+
+compress_edu::compress_edu(sim::memory_port& lower, const crypto::block_cipher& prf,
+                           compress_edu_config cfg)
+    : edu(lower), pad_(prf, cfg.tweak), cfg_(cfg), engine_(cfg.group_bytes) {}
+
+bool compress_edu::in_code(addr_t addr, std::size_t len) const noexcept {
+  return code_installed_ && addr >= code_base_ &&
+         addr + len <= code_base_ + code_size_;
+}
+
+void compress_edu::install_code(addr_t base, std::span<const u8> code) {
+  if (code_installed_) throw std::logic_error("compress_edu: code already installed");
+  bytes padded(code.begin(), code.end());
+  while (padded.size() % 4 != 0) padded.push_back(0);
+
+  image_ = engine_.compress_image(padded);
+  code_base_ = base;
+  code_size_ = code.size();
+
+  // Pack groups back-to-back in external memory starting at the code base.
+  group_extent_.clear();
+  addr_t phys = base;
+  for (std::size_t g = 0; g < image_.group_bit_offsets.size(); ++g) {
+    const std::size_t start_bit = image_.group_bit_offsets[g];
+    const std::size_t end_bit = (g + 1 < image_.group_bit_offsets.size())
+                                    ? image_.group_bit_offsets[g + 1]
+                                    : image_.payload.size() * 8;
+    const std::size_t start_byte = start_bit / 8;
+    const std::size_t end_byte = (end_bit + 7) / 8;
+    const std::size_t len = end_byte - start_byte;
+
+    bytes chunk(image_.payload.begin() + static_cast<std::ptrdiff_t>(start_byte),
+                image_.payload.begin() + static_cast<std::ptrdiff_t>(end_byte));
+    if (cfg_.encrypt) {
+      bytes pad(chunk.size());
+      pad_.generate(phys, pad);
+      xor_bytes(chunk, pad);
+    }
+    (void)lower_->write(phys, chunk);
+    group_extent_.emplace_back(static_cast<u32>(phys - base), static_cast<u32>(len));
+    phys += len;
+  }
+  if (phys > base + code_size_)
+    throw std::logic_error("compress_edu: image expanded beyond its region");
+  code_installed_ = true;
+}
+
+void compress_edu::install_image(addr_t base, std::span<const u8> plain) {
+  if (!code_installed_) {
+    install_code(base, plain);
+    return;
+  }
+  // Subsequent regions are data: pad-encrypted, uncompressed.
+  constexpr std::size_t chunk = 64;
+  std::size_t off = 0;
+  while (off < plain.size()) {
+    const std::size_t n = std::min(chunk, plain.size() - off);
+    (void)write(base + off, plain.subspan(off, n));
+    off += n;
+  }
+}
+
+void compress_edu::read_image(addr_t base, std::span<u8> plain_out) {
+  std::size_t off = 0;
+  while (off < plain_out.size()) {
+    const std::size_t n = std::min<std::size_t>(32, plain_out.size() - off);
+    (void)read(base + off, plain_out.subspan(off, n));
+    off += n;
+  }
+}
+
+cycles compress_edu::read_code(addr_t addr, std::span<u8> out) {
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const addr_t a = addr + done;
+    const std::size_t g = static_cast<std::size_t>(a - code_base_) / image_.group_bytes;
+    const std::size_t in_group = static_cast<std::size_t>(a - code_base_) % image_.group_bytes;
+    const std::size_t n = std::min(image_.group_bytes - in_group, out.size() - done);
+
+    const auto [phys_off, len] = group_extent_[g];
+    const addr_t phys = code_base_ + phys_off;
+
+    // Fetch the *compressed* group: fewer bus beats than a raw line.
+    bytes chunk(len);
+    const cycles mem = lower_->read(phys, chunk);
+    cycles spent = mem;
+    if (cfg_.encrypt) {
+      bytes pad(chunk.size());
+      pad_.generate(phys, pad);
+      stats_.cipher_blocks += pad_.blocks_covering(phys, chunk.size());
+      xor_bytes(chunk, pad);
+      const cycles pad_t =
+          cfg_.pad_core.time_parallel(pad_.blocks_covering(phys, chunk.size()));
+      spent = std::max(mem, pad_t) + cfg_.xor_cycles;
+    }
+    // The decompressor streams: it consumes beats as they arrive (CodePack
+    // style), so only its drain beyond the transfer is exposed.
+    const cycles mem_and_pad = spent;
+
+    // Stream the decrypted chunk straight into the decompressor, exactly
+    // as the hardware fill path would.
+    const std::size_t group_base = g * image_.group_bytes;
+    const std::size_t group_len =
+        std::min(image_.group_bytes, image_.original_size - group_base);
+    const bytes group_plain = engine_.decompress_chunk(
+        chunk, image_.group_bit_offsets[g] % 8, group_len, image_);
+    spent = std::max(mem_and_pad, cfg_.decomp.latency_for(group_plain.size())) +
+            cfg_.decomp.startup;
+    stats_.crypto_cycles += spent - mem;
+
+    for (std::size_t i = 0; i < n; ++i) out[done + i] = group_plain[in_group + i];
+    total += spent;
+    done += n;
+  }
+  return total;
+}
+
+cycles compress_edu::pad_io(addr_t addr, std::span<u8> buf, bool is_write,
+                            std::span<const u8> wdata) {
+  const std::size_t len = is_write ? wdata.size() : buf.size();
+  const cycles pad_t = cfg_.encrypt
+                           ? cfg_.pad_core.time_parallel(pad_.blocks_covering(addr, len))
+                           : 0;
+  cycles mem;
+  if (is_write) {
+    bytes ct(wdata.begin(), wdata.end());
+    if (cfg_.encrypt) {
+      bytes pad(ct.size());
+      pad_.generate(addr, pad);
+      stats_.cipher_blocks += pad_.blocks_covering(addr, ct.size());
+      xor_bytes(ct, pad);
+    }
+    mem = lower_->write(addr, ct);
+  } else {
+    mem = lower_->read(addr, buf);
+    if (cfg_.encrypt) {
+      bytes pad(buf.size());
+      pad_.generate(addr, pad);
+      stats_.cipher_blocks += pad_.blocks_covering(addr, buf.size());
+      xor_bytes(buf, pad);
+    }
+  }
+  const cycles total = cfg_.encrypt ? std::max(mem, pad_t) + cfg_.xor_cycles : mem;
+  stats_.crypto_cycles += total - mem;
+  return total;
+}
+
+cycles compress_edu::read(addr_t addr, std::span<u8> out) {
+  ++stats_.reads;
+  if (in_code(addr, out.size())) return read_code(addr, out);
+  return pad_io(addr, out, /*is_write=*/false, {});
+}
+
+cycles compress_edu::write(addr_t addr, std::span<const u8> in) {
+  ++stats_.writes;
+  if (in_code(addr, in.size()))
+    throw std::logic_error("compress_edu: code region is read-only");
+  return pad_io(addr, {}, /*is_write=*/true, in);
+}
+
+} // namespace buscrypt::edu

@@ -1,0 +1,77 @@
+#pragma once
+/// \file compress_edu.hpp
+/// The Section 4 / Fig. 8 proposal: "add a compression step to a ciphering
+/// solution. The compression has to be done before ciphering, if not,
+/// compression will have a very poor ratio due to the strong stochastic
+/// properties of encrypted data."
+///
+/// Code region: CodePack-compressed groups, packed tight in external
+/// memory, each group pad-encrypted over its compressed bytes. A line
+/// fetch reads *fewer bus bytes* (the performance upside) but pays the
+/// decompressor (the downside) — the origin of CodePack's "+/- 10%".
+/// Data region: pad-encrypted, uncompressed (data is written at runtime;
+/// the survey's proposal compresses the static code image).
+
+#include "compress/codepack.hpp"
+#include "crypto/modes.hpp"
+#include "edu/edu.hpp"
+#include "edu/timing.hpp"
+
+namespace buscrypt::edu {
+
+struct compress_edu_config {
+  std::size_t group_bytes = 64;
+  pipeline_model pad_core = aes_pipelined();
+  compress::codec_timing decomp = {4, 0.5}; ///< hardware decompressor model
+  cycles xor_cycles = 1;
+  bool encrypt = true;        ///< ablation: compression-only
+  u64 tweak = 0xC0305E55ULL;
+};
+
+/// Compression + encryption EDU.
+class compress_edu final : public edu {
+ public:
+  compress_edu(sim::memory_port& lower, const crypto::block_cipher& prf,
+               compress_edu_config cfg);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return cfg_.encrypt ? "Compress+OTP" : "Compress-only";
+  }
+
+  /// Compress, encrypt and lay out a static code image at \p base.
+  /// Must be called before any read into [base, base+code.size()).
+  void install_code(addr_t base, std::span<const u8> code);
+
+  /// install_image routes through install_code for the first region and
+  /// the pad path for later (data) regions.
+  void install_image(addr_t base, std::span<const u8> plain) override;
+  void read_image(addr_t base, std::span<u8> plain_out) override;
+
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  /// Memory density gain on the installed code ("increase of memory
+  /// density of 35%" is CodePack's claim).
+  [[nodiscard]] double density_gain() const noexcept { return image_.density_gain(); }
+  [[nodiscard]] std::size_t compressed_bytes() const noexcept {
+    return image_.compressed_size();
+  }
+
+ private:
+  [[nodiscard]] bool in_code(addr_t addr, std::size_t len) const noexcept;
+  [[nodiscard]] cycles read_code(addr_t addr, std::span<u8> out);
+  [[nodiscard]] cycles pad_io(addr_t addr, std::span<u8> buf, bool is_write,
+                              std::span<const u8> wdata);
+
+  crypto::address_pad pad_;
+  compress_edu_config cfg_;
+  compress::codepack engine_;
+  compress::codepack_image image_; ///< index + dictionaries (on-chip model)
+  addr_t code_base_ = 0;
+  std::size_t code_size_ = 0;
+  bool code_installed_ = false;
+  // Physical byte extents of each group in external memory.
+  std::vector<std::pair<u32, u32>> group_extent_; ///< (offset, length)
+};
+
+} // namespace buscrypt::edu

@@ -1,0 +1,122 @@
+#include "edu/dma_edu.hpp"
+
+#include "common/bitops.hpp"
+#include "crypto/modes.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::edu {
+
+dma_edu::dma_edu(sim::memory_port& lower, const crypto::block_cipher& cipher,
+                 dma_edu_config cfg)
+    : edu(lower), cipher_(&cipher), cfg_(cfg) {
+  if (cfg_.page_bytes % cipher.block_size() != 0)
+    throw std::invalid_argument("dma_edu: page must be a block multiple");
+  if (cfg_.n_buffers == 0) throw std::invalid_argument("dma_edu: need >= 1 buffer");
+  buffers_.resize(cfg_.n_buffers);
+  for (auto& b : buffers_) b.data.resize(cfg_.page_bytes, 0);
+}
+
+void dma_edu::cipher_page(addr_t base, std::span<u8> buf, bool encrypt) {
+  bytes iv(cipher_->block_size(), 0);
+  bytes iv_src(cipher_->block_size(), 0);
+  store_be64(iv_src.data(), cfg_.iv_tweak ^ base);
+  cipher_->encrypt_block(iv_src, iv);
+  stats_.cipher_blocks += 1 + buf.size() / cipher_->block_size();
+  if (encrypt)
+    crypto::cbc_encrypt(*cipher_, iv, buf, buf);
+  else
+    crypto::cbc_decrypt(*cipher_, iv, buf, buf);
+}
+
+cycles dma_edu::encrypt_and_writeback(page_buffer& pb) {
+  // Encrypt a copy: the resident buffer must keep serving plaintext.
+  bytes ct = pb.data;
+  cipher_page(pb.base, ct, /*encrypt=*/true);
+  // CBC encryption of the page is chained; DMA overlaps the bus transfer
+  // with encryption of later blocks, so charge the longer of the two.
+  const cycles crypt = cfg_.core.time_chained(cfg_.core.blocks_for(cfg_.page_bytes));
+  const cycles mem = lower_->write(pb.base, ct);
+  stats_.crypto_cycles += crypt;
+  pb.dirty = false;
+  return std::max(crypt, mem) + cfg_.core.latency;
+}
+
+std::pair<dma_edu::page_buffer*, cycles> dma_edu::fault_in(addr_t page_base) {
+  for (auto& b : buffers_) {
+    if (b.valid && b.base == page_base) {
+      b.last_used = ++tick_;
+      return {&b, 0};
+    }
+  }
+
+  ++page_faults_;
+  page_buffer* victim = &buffers_[0];
+  for (auto& b : buffers_) {
+    if (!b.valid) {
+      victim = &b;
+      break;
+    }
+    if (b.last_used < victim->last_used) victim = &b;
+  }
+
+  cycles spent = 0;
+  if (victim->valid && victim->dirty) spent += encrypt_and_writeback(*victim);
+
+  const cycles mem = lower_->read(page_base, victim->data);
+  cipher_page(page_base, victim->data, /*encrypt=*/false);
+  // CBC decryption pipelines behind the incoming burst.
+  const cycles crypt = cfg_.core.time_parallel(cfg_.core.blocks_for(cfg_.page_bytes));
+  stats_.crypto_cycles += crypt;
+  spent += std::max(mem, crypt) + cfg_.core.latency;
+
+  victim->valid = true;
+  victim->dirty = false;
+  victim->base = page_base;
+  victim->last_used = ++tick_;
+  return {victim, spent};
+}
+
+cycles dma_edu::read(addr_t addr, std::span<u8> out) {
+  ++stats_.reads;
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const addr_t a = addr + done;
+    const addr_t base = a - a % cfg_.page_bytes;
+    const std::size_t off = static_cast<std::size_t>(a - base);
+    const std::size_t n = std::min(cfg_.page_bytes - off, out.size() - done);
+    auto [pb, spent] = fault_in(base);
+    for (std::size_t i = 0; i < n; ++i) out[done + i] = pb->data[off + i];
+    total += spent + cfg_.sram_latency;
+    done += n;
+  }
+  return total;
+}
+
+cycles dma_edu::write(addr_t addr, std::span<const u8> in) {
+  ++stats_.writes;
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const addr_t a = addr + done;
+    const addr_t base = a - a % cfg_.page_bytes;
+    const std::size_t off = static_cast<std::size_t>(a - base);
+    const std::size_t n = std::min(cfg_.page_bytes - off, in.size() - done);
+    auto [pb, spent] = fault_in(base);
+    for (std::size_t i = 0; i < n; ++i) pb->data[off + i] = in[done + i];
+    pb->dirty = true;
+    total += spent + cfg_.sram_latency;
+    done += n;
+  }
+  return total;
+}
+
+cycles dma_edu::flush() {
+  cycles total = 0;
+  for (auto& b : buffers_)
+    if (b.valid && b.dirty) total += encrypt_and_writeback(b);
+  return total;
+}
+
+} // namespace buscrypt::edu

@@ -1,0 +1,72 @@
+#pragma once
+/// \file dma_edu.hpp
+/// The VLSI Technology patent engine (Fig. 4): "data transfers to and from
+/// the external memory are done page-by-page. All CPU external requests
+/// are managed by a secure DMA unit and communications between external
+/// and internal memory use an encryption / decryption core. This system
+/// allows the use of block cipher techniques (robustness)."
+///
+/// Model: a small set of on-chip page buffers. A request to a resident
+/// page is an SRAM access; a miss DMAs the whole page through the cipher
+/// core (and writes back the evicted page if dirty). The OS-trust caveat
+/// ("viable provided that the OS is trusted") is a security note, not a
+/// performance one — see README.
+
+#include "crypto/block_cipher.hpp"
+#include "edu/edu.hpp"
+#include "edu/timing.hpp"
+
+#include <vector>
+
+namespace buscrypt::edu {
+
+struct dma_edu_config {
+  std::size_t page_bytes = 4096;
+  unsigned n_buffers = 4;        ///< on-chip page buffers
+  cycles sram_latency = 2;       ///< access into a resident page buffer
+  pipeline_model core = aes_pipelined();
+  u64 iv_tweak = 0xD41A5EC0DEULL;
+};
+
+/// Page-granular secure DMA engine with CBC-per-page ciphering.
+class dma_edu final : public edu {
+ public:
+  dma_edu(sim::memory_port& lower, const crypto::block_cipher& cipher,
+          dma_edu_config cfg);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "SecureDMA-page"; }
+
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  /// Write every dirty page buffer back (encrypting); returns cycles.
+  [[nodiscard]] cycles flush();
+
+  [[nodiscard]] u64 page_faults() const noexcept { return page_faults_; }
+  [[nodiscard]] std::size_t buffer_ram_bytes() const noexcept {
+    return cfg_.page_bytes * cfg_.n_buffers;
+  }
+  [[nodiscard]] const dma_edu_config& config() const noexcept { return cfg_; }
+
+ private:
+  struct page_buffer {
+    bool valid = false;
+    bool dirty = false;
+    addr_t base = 0;
+    u64 last_used = 0;
+    bytes data;
+  };
+
+  /// Make the page containing \p addr resident; returns (buffer, cycles).
+  std::pair<page_buffer*, cycles> fault_in(addr_t page_base);
+  [[nodiscard]] cycles encrypt_and_writeback(page_buffer& pb);
+  void cipher_page(addr_t base, std::span<u8> buf, bool encrypt);
+
+  const crypto::block_cipher* cipher_;
+  dma_edu_config cfg_;
+  std::vector<page_buffer> buffers_;
+  u64 tick_ = 0;
+  u64 page_faults_ = 0;
+};
+
+} // namespace buscrypt::edu

@@ -1,0 +1,27 @@
+#include "edu/edu.hpp"
+
+#include <algorithm>
+
+namespace buscrypt::edu {
+
+void edu::install_image(addr_t base, std::span<const u8> plain) {
+  const std::size_t chunk = preferred_chunk();
+  std::size_t off = 0;
+  while (off < plain.size()) {
+    const std::size_t n = std::min(chunk, plain.size() - off);
+    (void)write(base + off, plain.subspan(off, n));
+    off += n;
+  }
+}
+
+void edu::read_image(addr_t base, std::span<u8> plain_out) {
+  const std::size_t chunk = preferred_chunk();
+  std::size_t off = 0;
+  while (off < plain_out.size()) {
+    const std::size_t n = std::min(chunk, plain_out.size() - off);
+    (void)read(base + off, plain_out.subspan(off, n));
+    off += n;
+  }
+}
+
+} // namespace buscrypt::edu

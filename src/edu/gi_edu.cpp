@@ -1,0 +1,140 @@
+#include "edu/gi_edu.hpp"
+
+#include "common/bitops.hpp"
+#include "crypto/mac.hpp"
+#include "crypto/modes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace buscrypt::edu {
+
+gi_edu::gi_edu(sim::memory_port& lower, const crypto::block_cipher& cipher,
+               bytes mac_key, gi_edu_config cfg)
+    : edu(lower), cipher_(&cipher), mac_key_(std::move(mac_key)), cfg_(cfg) {
+  if (cfg_.segment_bytes % cipher.block_size() != 0)
+    throw std::invalid_argument("gi_edu: segment must be a block multiple");
+  if (cfg_.tag_bytes == 0 || cfg_.tag_bytes > 32)
+    throw std::invalid_argument("gi_edu: tag_bytes must be 1..32");
+}
+
+void gi_edu::derive_iv(addr_t seg_base, std::span<u8> iv) const {
+  bytes src(cipher_->block_size(), 0);
+  store_be64(src.data(), cfg_.iv_tweak ^ seg_base);
+  cipher_->encrypt_block(src, iv);
+}
+
+bytes gi_edu::compute_tag(addr_t seg_base, std::span<const u8> plain) const {
+  // Keyed hash over (address || plaintext) so segments cannot be swapped.
+  bytes msg(8 + plain.size());
+  store_be64(msg.data(), seg_base);
+  std::copy(plain.begin(), plain.end(), msg.begin() + 8);
+  return crypto::hmac_sha256_tag(mac_key_, msg, cfg_.tag_bytes);
+}
+
+cycles gi_edu::hash_time(std::size_t nbytes) const noexcept {
+  return cfg_.hash_startup +
+         static_cast<cycles>(static_cast<double>(nbytes) * cfg_.hash_cycles_per_byte);
+}
+
+void gi_edu::touch_verified(addr_t seg_base) {
+  auto it = std::find(verified_lru_.begin(), verified_lru_.end(), seg_base);
+  if (it != verified_lru_.end()) verified_lru_.erase(it);
+  verified_lru_.push_back(seg_base);
+  if (verified_lru_.size() > cfg_.verified_cache_entries)
+    verified_lru_.erase(verified_lru_.begin());
+}
+
+bool gi_edu::recently_verified(addr_t seg_base) const noexcept {
+  return std::find(verified_lru_.begin(), verified_lru_.end(), seg_base) !=
+         verified_lru_.end();
+}
+
+gi_edu::segment_io gi_edu::load_segment(addr_t seg_base) {
+  segment_io io;
+  io.plain.resize(cfg_.segment_bytes);
+  const cycles mem = lower_->read(seg_base, io.plain);
+
+  bytes iv(cipher_->block_size());
+  derive_iv(seg_base, iv);
+  crypto::cbc_decrypt(*cipher_, iv, io.plain, io.plain);
+  const std::size_t nblocks = cfg_.core.blocks_for(cfg_.segment_bytes);
+  stats_.cipher_blocks += nblocks + 1;
+  const cycles crypt = cfg_.core.time_parallel(nblocks);
+
+  io.spent = mem + crypt;
+  if (cfg_.authenticate && !recently_verified(seg_base)) {
+    const bytes tag = compute_tag(seg_base, io.plain);
+    const auto it = tags_.find(seg_base);
+    if (it == tags_.end() || !crypto::tag_equal(tag, it->second)) ++auth_failures_;
+    io.spent += hash_time(cfg_.segment_bytes);
+    touch_verified(seg_base);
+  }
+  stats_.crypto_cycles += io.spent - mem;
+  return io;
+}
+
+cycles gi_edu::store_segment(addr_t seg_base, std::span<const u8> plain) {
+  bytes ct(plain.begin(), plain.end());
+  bytes iv(cipher_->block_size());
+  derive_iv(seg_base, iv);
+  crypto::cbc_encrypt(*cipher_, iv, ct, ct);
+  const std::size_t nblocks = cfg_.core.blocks_for(cfg_.segment_bytes);
+  stats_.cipher_blocks += nblocks + 1;
+
+  cycles spent = cfg_.core.time_chained(nblocks); // CBC encrypt is serial
+  if (cfg_.authenticate) {
+    tags_[seg_base] = compute_tag(seg_base, plain);
+    spent += hash_time(cfg_.segment_bytes);
+    touch_verified(seg_base);
+  }
+  stats_.crypto_cycles += spent;
+  spent += lower_->write(seg_base, ct);
+  return spent;
+}
+
+cycles gi_edu::read(addr_t addr, std::span<u8> out) {
+  ++stats_.reads;
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const addr_t a = addr + done;
+    const addr_t base = a - a % cfg_.segment_bytes;
+    const std::size_t off = static_cast<std::size_t>(a - base);
+    const std::size_t n = std::min(cfg_.segment_bytes - off, out.size() - done);
+    segment_io io = load_segment(base);
+    for (std::size_t i = 0; i < n; ++i) out[done + i] = io.plain[off + i];
+    total += io.spent;
+    done += n;
+  }
+  return total;
+}
+
+cycles gi_edu::write(addr_t addr, std::span<const u8> in) {
+  ++stats_.writes;
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const addr_t a = addr + done;
+    const addr_t base = a - a % cfg_.segment_bytes;
+    const std::size_t off = static_cast<std::size_t>(a - base);
+    const std::size_t n = std::min(cfg_.segment_bytes - off, in.size() - done);
+
+    if (off == 0 && n == cfg_.segment_bytes) {
+      // Full-segment write: no need to fetch the old contents.
+      total += store_segment(base, in.subspan(done, n));
+    } else {
+      // Whole-segment read-modify-write: the CBC chain and the tag both
+      // cover the full segment.
+      ++stats_.rmw_ops;
+      segment_io io = load_segment(base);
+      total += io.spent;
+      for (std::size_t i = 0; i < n; ++i) io.plain[off + i] = in[done + i];
+      total += store_segment(base, io.plain);
+    }
+    done += n;
+  }
+  return total;
+}
+
+} // namespace buscrypt::edu

@@ -1,0 +1,117 @@
+#include "edu/gilmont_edu.hpp"
+
+#include "crypto/modes.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::edu {
+
+gilmont_edu::gilmont_edu(sim::memory_port& lower, const crypto::block_cipher& cipher,
+                         gilmont_edu_config cfg)
+    : edu(lower), cipher_(&cipher), cfg_(cfg) {
+  if (cfg_.line_bytes % cipher.block_size() != 0)
+    throw std::invalid_argument("gilmont_edu: line must be a block multiple");
+  pf_data_.resize(cfg_.line_bytes);
+}
+
+void gilmont_edu::crypt_line(std::span<u8> buf, bool encrypt) {
+  if (!cfg_.encrypt) return; // prefetch-only baseline
+  stats_.cipher_blocks += buf.size() / cipher_->block_size();
+  if (encrypt)
+    crypto::ecb_encrypt(*cipher_, buf, buf);
+  else
+    crypto::ecb_decrypt(*cipher_, buf, buf);
+}
+
+void gilmont_edu::prefetch(addr_t line_addr) {
+  if (line_addr + cfg_.line_bytes > cfg_.code_limit) {
+    pf_valid_ = false;
+    return;
+  }
+  // The prefetch read + decrypt happen in the background; its cycles do
+  // not appear on the critical path (bus contention is the price, noted in
+  // DESIGN.md). Functional effect: the decrypted next line is staged.
+  (void)lower_->read(line_addr, pf_data_);
+  crypt_line(pf_data_, /*encrypt=*/false);
+  pf_valid_ = true;
+  pf_addr_ = line_addr;
+}
+
+cycles gilmont_edu::read(addr_t addr, std::span<u8> out) {
+  ++stats_.reads;
+  // Data region: clear-form passthrough (the surveyed limitation).
+  if (addr >= cfg_.code_limit) return lower_->read(addr, out);
+
+  if (addr % cfg_.line_bytes != 0 || out.size() != cfg_.line_bytes) {
+    // Split to line-aligned requests.
+    const addr_t base = addr - addr % cfg_.line_bytes;
+    const addr_t end_addr = addr + out.size();
+    const addr_t end = (end_addr % cfg_.line_bytes == 0)
+                           ? end_addr
+                           : end_addr + cfg_.line_bytes - end_addr % cfg_.line_bytes;
+    bytes buf(static_cast<std::size_t>(end - base));
+    cycles total = 0;
+    for (addr_t a = base; a < end; a += cfg_.line_bytes)
+      total += read(a, std::span<u8>(buf).subspan(static_cast<std::size_t>(a - base),
+                                                  cfg_.line_bytes));
+    const std::size_t head = static_cast<std::size_t>(addr - base);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = buf[head + i];
+    return total;
+  }
+
+  if (cfg_.fetch_prediction && pf_valid_ && pf_addr_ == addr) {
+    // Predicted correctly: the line is already fetched AND deciphered.
+    ++prefetch_hits_;
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = pf_data_[i];
+    pf_valid_ = false;
+    prefetch(addr + cfg_.line_bytes);
+    return 1;
+  }
+
+  ++prefetch_misses_;
+  const cycles mem = lower_->read(addr, out);
+  crypt_line(out, /*encrypt=*/false);
+  const cycles crypt =
+      cfg_.encrypt ? cfg_.core.time_parallel(cfg_.core.blocks_for(out.size())) : 0;
+  stats_.crypto_cycles += crypt;
+  if (cfg_.fetch_prediction) prefetch(addr + cfg_.line_bytes);
+  return mem + crypt;
+}
+
+cycles gilmont_edu::write(addr_t addr, std::span<const u8> in) {
+  ++stats_.writes;
+  if (addr >= cfg_.code_limit) return lower_->write(addr, in); // data: clear form
+
+  // Static code is installed through the cipher; runtime code writes are
+  // rare (self-modifying code) but handled: line-aligned encrypt, with the
+  // five-step penalty for partial lines.
+  const addr_t base = addr - addr % cfg_.line_bytes;
+  const addr_t end_addr = addr + in.size();
+  const addr_t end = (end_addr % cfg_.line_bytes == 0)
+                         ? end_addr
+                         : end_addr + cfg_.line_bytes - end_addr % cfg_.line_bytes;
+  const std::size_t span_len = static_cast<std::size_t>(end - base);
+
+  // Invalidate the prefetch buffer if any written line overlaps it.
+  if (pf_valid_ && base < pf_addr_ + cfg_.line_bytes && pf_addr_ < end)
+    pf_valid_ = false;
+
+  bytes buf(span_len);
+  cycles total = 0;
+  const cycles crypt_cost =
+      cfg_.encrypt ? cfg_.core.time_parallel(cfg_.core.blocks_for(span_len)) : 0;
+  if (span_len != in.size()) {
+    ++stats_.rmw_ops;
+    total += lower_->read(base, buf);
+    crypt_line(buf, /*encrypt=*/false);
+    total += crypt_cost;
+  }
+  const std::size_t head = static_cast<std::size_t>(addr - base);
+  for (std::size_t i = 0; i < in.size(); ++i) buf[head + i] = in[i];
+  crypt_line(buf, /*encrypt=*/true);
+  stats_.crypto_cycles += crypt_cost;
+  total += crypt_cost + lower_->write(base, buf);
+  return total;
+}
+
+} // namespace buscrypt::edu

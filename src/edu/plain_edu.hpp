@@ -1,0 +1,30 @@
+#pragma once
+/// \file plain_edu.hpp
+/// The no-protection baseline: data crosses the bus in clear form — the
+/// situation Section 1 describes ("data and instructions are constantly
+/// exchanged ... in clear form on the bus"). Every overhead in the benches
+/// is measured against this.
+
+#include "edu/edu.hpp"
+
+namespace buscrypt::edu {
+
+/// Pass-through EDU: zero added latency, identity transform.
+class plain_edu final : public edu {
+ public:
+  using edu::edu;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "plaintext"; }
+
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override {
+    ++stats_.reads;
+    return lower_->read(addr, out);
+  }
+
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override {
+    ++stats_.writes;
+    return lower_->write(addr, in);
+  }
+};
+
+} // namespace buscrypt::edu

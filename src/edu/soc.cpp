@@ -1,0 +1,193 @@
+#include "edu/soc.hpp"
+
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/best_cipher.hpp"
+#include "crypto/des.hpp"
+#include "edu/aegis_edu.hpp"
+#include "edu/block_edu.hpp"
+#include "edu/cacheside_edu.hpp"
+#include "edu/compress_edu.hpp"
+#include "edu/dallas_edu.hpp"
+#include "edu/dma_edu.hpp"
+#include "edu/gi_edu.hpp"
+#include "edu/gilmont_edu.hpp"
+#include "edu/plain_edu.hpp"
+#include "edu/stream_edu.hpp"
+#include "edu/xom_edu.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::edu {
+
+std::string_view engine_name(engine_kind kind) {
+  switch (kind) {
+    case engine_kind::plaintext: return "plaintext";
+    case engine_kind::best_stp: return "Best-STP";
+    case engine_kind::dallas_byte: return "DS5002FP-byte";
+    case engine_kind::dallas_des: return "DS5240-DES";
+    case engine_kind::block_ecb_aes: return "AES-ECB";
+    case engine_kind::block_cbc_aes: return "AES-CBCline";
+    case engine_kind::xom_aes: return "XOM-AES";
+    case engine_kind::aegis_cbc: return "AEGIS-AES-CBC";
+    case engine_kind::gilmont_3des: return "Gilmont-3DES";
+    case engine_kind::gi_3des_cbc: return "GI-3DES-CBC+MAC";
+    case engine_kind::stream_otp: return "Stream-OTP";
+    case engine_kind::stream_serial: return "Stream-serial";
+    case engine_kind::secure_dma: return "SecureDMA-page";
+    case engine_kind::cacheside_otp: return "CacheSide-OTP";
+    case engine_kind::compress_otp: return "Compress+OTP";
+  }
+  return "?";
+}
+
+const std::vector<engine_kind>& all_engines() {
+  static const std::vector<engine_kind> kinds = {
+      engine_kind::plaintext,    engine_kind::best_stp,
+      engine_kind::dallas_byte,  engine_kind::dallas_des,
+      engine_kind::block_ecb_aes, engine_kind::block_cbc_aes,
+      engine_kind::xom_aes,      engine_kind::aegis_cbc,
+      engine_kind::gilmont_3des, engine_kind::gi_3des_cbc,
+      engine_kind::stream_otp,   engine_kind::stream_serial,
+      engine_kind::secure_dma,   engine_kind::cacheside_otp,
+      engine_kind::compress_otp,
+  };
+  return kinds;
+}
+
+secure_soc::secure_soc(engine_kind kind, const soc_config& cfg)
+    : kind_(kind), cfg_(cfg), dram_(cfg.mem_size, cfg.mem_timing), ext_(dram_) {
+  // Deterministic key material (the on-chip secret registers).
+  rng key_rng(cfg.key_seed);
+  aes_key_ = key_rng.random_bytes(16);
+  des_key_ = key_rng.random_bytes(8);
+  tdes_key_ = key_rng.random_bytes(24);
+  byte_key_ = key_rng.random_bytes(8);
+  mac_key_ = key_rng.random_bytes(16);
+  best_key_ = key_rng.random_bytes(16);
+
+  // Functional cores. prf_ always exists (several EDUs use an AES PRF).
+  prf_ = std::make_unique<crypto::aes>(aes_key_);
+
+  const bool edu_above_cache = (kind == engine_kind::cacheside_otp);
+
+  if (edu_above_cache) {
+    // Fig. 7b: cache below the EDU, plain external path.
+    l1_ = std::make_unique<sim::cache>(cfg.l1, ext_);
+    edu_ = std::make_unique<cacheside_edu>(*l1_, *prf_, cacheside_edu_config{});
+    cpu_ = std::make_unique<sim::cpu>(*edu_, cfg.l1.hit_latency);
+    return;
+  }
+
+  switch (kind) {
+    case engine_kind::plaintext:
+      edu_ = std::make_unique<plain_edu>(ext_);
+      break;
+    case engine_kind::best_stp:
+      cipher_ = std::make_unique<crypto::best_cipher>(best_key_);
+      edu_ = std::make_unique<block_edu>(
+          ext_, *cipher_, block_edu_config{block_mode::ecb, best_combinational(), 32, 0});
+      break;
+    case engine_kind::dallas_byte:
+      byte_cipher_ = std::make_unique<crypto::byte_bus_cipher>(byte_key_, 24);
+      edu_ = std::make_unique<dallas_byte_edu>(ext_, *byte_cipher_);
+      break;
+    case engine_kind::dallas_des:
+      cipher_ = std::make_unique<crypto::des>(des_key_);
+      edu_ = std::make_unique<dallas_des_edu>(ext_, *cipher_);
+      break;
+    case engine_kind::block_ecb_aes:
+      edu_ = std::make_unique<block_edu>(
+          ext_, *prf_, block_edu_config{block_mode::ecb, aes_iterative(), 32, 0});
+      break;
+    case engine_kind::block_cbc_aes:
+      edu_ = std::make_unique<block_edu>(
+          ext_, *prf_,
+          block_edu_config{block_mode::cbc_line, aes_iterative(), cfg.l1.line_size, 0});
+      break;
+    case engine_kind::xom_aes:
+      edu_ = std::make_unique<xom_edu>(ext_, *prf_);
+      break;
+    case engine_kind::aegis_cbc: {
+      aegis_edu_config acfg;
+      acfg.line_bytes = cfg.l1.line_size;
+      edu_ = std::make_unique<aegis_edu>(ext_, *prf_, acfg);
+      break;
+    }
+    case engine_kind::gilmont_3des: {
+      cipher_ = std::make_unique<crypto::triple_des>(tdes_key_);
+      gilmont_edu_config gcfg;
+      gcfg.line_bytes = cfg.l1.line_size;
+      edu_ = std::make_unique<gilmont_edu>(ext_, *cipher_, gcfg);
+      break;
+    }
+    case engine_kind::gi_3des_cbc:
+      cipher_ = std::make_unique<crypto::triple_des>(tdes_key_);
+      edu_ = std::make_unique<gi_edu>(ext_, *cipher_, mac_key_, gi_edu_config{});
+      break;
+    case engine_kind::stream_otp:
+      edu_ = std::make_unique<stream_edu>(ext_, *prf_, stream_edu_config{});
+      break;
+    case engine_kind::stream_serial: {
+      stream_edu_config scfg;
+      scfg.parallel_keystream = false;
+      edu_ = std::make_unique<stream_edu>(ext_, *prf_, scfg);
+      break;
+    }
+    case engine_kind::secure_dma:
+      edu_ = std::make_unique<dma_edu>(ext_, *prf_, dma_edu_config{});
+      break;
+    case engine_kind::compress_otp: {
+      compress_edu_config ccfg;
+      // Group granularity matches the cache line so one fill reads exactly
+      // one compressed group (fewer bus bytes than the raw line).
+      ccfg.group_bytes = cfg.l1.line_size;
+      edu_ = std::make_unique<compress_edu>(ext_, *prf_, ccfg);
+      break;
+    }
+    case engine_kind::cacheside_otp:
+      throw std::logic_error("unreachable");
+  }
+
+  if (cfg.split_l1) {
+    sim::cache_config half = cfg.l1;
+    half.size = cfg.l1.size / 2;
+    l1_ = std::make_unique<sim::cache>(half, *edu_);  // data side
+    l1i_ = std::make_unique<sim::cache>(half, *edu_); // instruction side
+    cpu_ = std::make_unique<sim::cpu>(*l1i_, *l1_, cfg.l1.hit_latency);
+  } else {
+    l1_ = std::make_unique<sim::cache>(cfg.l1, *edu_);
+    cpu_ = std::make_unique<sim::cpu>(*l1_, cfg.l1.hit_latency);
+  }
+}
+
+void secure_soc::load_image(addr_t base, std::span<const u8> plain) {
+  edu_->install_image(base, plain);
+  if (kind_ == engine_kind::cacheside_otp) {
+    // The install path ran through the cache; push everything to DRAM so
+    // the image is externally resident before execution.
+    (void)l1_->flush();
+  }
+}
+
+bytes secure_soc::read_back(addr_t base, std::size_t len) {
+  flush();
+  bytes out(len);
+  if (kind_ == engine_kind::cacheside_otp) {
+    (void)edu_->read(base, out);
+    return out;
+  }
+  edu_->read_image(base, out);
+  return out;
+}
+
+sim::run_stats secure_soc::run(const sim::workload& w) { return cpu_->run(w); }
+
+void secure_soc::flush() {
+  if (l1_) (void)l1_->flush();
+  if (l1i_) (void)l1i_->flush();
+  if (kind_ == engine_kind::secure_dma)
+    (void)static_cast<dma_edu&>(*edu_).flush();
+}
+
+} // namespace buscrypt::edu

@@ -1,0 +1,106 @@
+#pragma once
+/// \file soc.hpp
+/// One-stop assembly of the full system under study: CPU -> L1 cache ->
+/// EDU -> memory controller/bus -> external DRAM, with probe taps on the
+/// bus. Every engine the survey covers can be instantiated by name, so the
+/// benches and tests can sweep the whole design space uniformly.
+
+#include "crypto/block_cipher.hpp"
+#include "crypto/toy_cipher.hpp"
+#include "edu/edu.hpp"
+#include "sim/bus.hpp"
+#include "sim/cache.hpp"
+#include "sim/cpu.hpp"
+#include "sim/workload.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace buscrypt::edu {
+
+/// Every engine in the survey, plus the plaintext baseline.
+enum class engine_kind {
+  plaintext,       ///< no protection (Section 1 status quo)
+  best_stp,        ///< Best's patent cipher (Fig. 3)
+  dallas_byte,     ///< DS5002FP byte cipher (Fig. 6, old)
+  dallas_des,      ///< DS5240 64-bit DES (Fig. 6, new)
+  block_ecb_aes,   ///< generic AES-ECB between cache and MC (Fig. 2c)
+  block_cbc_aes,   ///< per-line CBC AES with address IV
+  xom_aes,         ///< XOM pipelined AES [13]
+  aegis_cbc,       ///< AEGIS per-line CBC with counter IVs [14]
+  gilmont_3des,    ///< Gilmont fetch-predicted 3DES [3]
+  gi_3des_cbc,     ///< General Instrument 3DES-CBC + keyed hash (Fig. 5)
+  stream_otp,      ///< stream/OTP EDU, keystream parallel to fetch (Fig. 2a)
+  stream_serial,   ///< ablation: keystream NOT parallelised
+  secure_dma,      ///< VLSI page-by-page secure DMA (Fig. 4)
+  cacheside_otp,   ///< EDU between CPU and cache (Fig. 7b)
+  compress_otp,    ///< compression + encryption (Fig. 8)
+};
+
+/// Printable engine name (matches each EDU's name()).
+[[nodiscard]] std::string_view engine_name(engine_kind kind);
+
+/// All kinds, in survey order — for sweeps.
+[[nodiscard]] const std::vector<engine_kind>& all_engines();
+
+struct soc_config {
+  sim::cache_config l1{};
+  sim::dram_timing mem_timing{};
+  std::size_t mem_size = 8u << 20;
+  u64 key_seed = 0x5EC5EEDULL; ///< deterministic key material derivation
+  /// Harvard L1: two caches of l1.size/2 each (fetches vs data) over the
+  /// same EDU. Ignored by the cacheside_otp engine (which wraps one cache).
+  bool split_l1 = false;
+};
+
+/// The assembled system. Owns every component; wiring depends on the
+/// engine (cacheside_otp puts the EDU above the cache, everything else
+/// below it).
+class secure_soc {
+ public:
+  secure_soc(engine_kind kind, const soc_config& cfg);
+
+  /// Install a plaintext image through the engine's offline encrypt path.
+  void load_image(addr_t base, std::span<const u8> plain);
+
+  /// Decrypted view of memory via the engine (test/verification hook).
+  [[nodiscard]] bytes read_back(addr_t base, std::size_t len);
+
+  /// Execute a workload; stats are cumulative per-run.
+  [[nodiscard]] sim::run_stats run(const sim::workload& w);
+
+  /// Write all dirty state (cache lines, page buffers) back to DRAM.
+  void flush();
+
+  /// Attach a bus probe (attacker / logic analyser).
+  void attach_probe(sim::bus_probe& probe) { ext_.attach(probe); }
+
+  [[nodiscard]] engine_kind kind() const noexcept { return kind_; }
+  [[nodiscard]] edu& engine() noexcept { return *edu_; }
+  /// The unified L1, or the data cache when split_l1 is set.
+  [[nodiscard]] sim::cache& l1() noexcept { return *l1_; }
+  /// The instruction cache; null unless split_l1.
+  [[nodiscard]] sim::cache* l1i() noexcept { return l1i_.get(); }
+  [[nodiscard]] sim::dram& memory() noexcept { return dram_; }
+  [[nodiscard]] sim::external_memory& external() noexcept { return ext_; }
+  [[nodiscard]] const soc_config& config() const noexcept { return cfg_; }
+
+ private:
+  engine_kind kind_;
+  soc_config cfg_;
+  sim::dram dram_;
+  sim::external_memory ext_;
+
+  // Key material and functional cipher cores (owned).
+  bytes aes_key_, des_key_, tdes_key_, byte_key_, mac_key_, best_key_;
+  std::unique_ptr<crypto::block_cipher> cipher_;
+  std::unique_ptr<crypto::block_cipher> prf_;
+  std::unique_ptr<crypto::byte_bus_cipher> byte_cipher_;
+
+  std::unique_ptr<sim::cache> l1_;
+  std::unique_ptr<sim::cache> l1i_; ///< only when split_l1
+  std::unique_ptr<edu> edu_;
+  std::unique_ptr<sim::cpu> cpu_;
+};
+
+} // namespace buscrypt::edu

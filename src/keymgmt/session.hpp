@@ -1,0 +1,105 @@
+#pragma once
+/// \file session.hpp
+/// The Fig. 1 secret-key exchange protocol, actor by actor:
+///   1. the chip manufacturer provisions a private key Dm into the
+///      processor's on-chip NVM and publishes Em;
+///   2. the processor requests the session key K from the software editor;
+///   3-4. the editor obtains Em and sends K wrapped under Em over the
+///      insecure channel;
+///   5. only the processor can unwrap K with Dm;
+///   6. the processor uses K (symmetric) to decipher the software and
+///      install it in external memory (through its EDU).
+/// Every message crosses an insecure_channel that records the
+/// eavesdropper's complete view.
+
+#include "crypto/aes.hpp"
+#include "crypto/rsa.hpp"
+
+#include <string>
+#include <vector>
+
+namespace buscrypt::keymgmt {
+
+/// A message as seen by an eavesdropper on the distribution network.
+struct channel_message {
+  std::string label;
+  bytes payload;
+};
+
+/// The non-secure transmission channel: everything sent is observable.
+class insecure_channel {
+ public:
+  void send(std::string label, bytes payload) {
+    log_.push_back({std::move(label), std::move(payload)});
+  }
+  [[nodiscard]] const std::vector<channel_message>& log() const noexcept { return log_; }
+
+ private:
+  std::vector<channel_message> log_;
+};
+
+/// What the editor ships: the wrapped session key and the ciphered image.
+struct software_package {
+  bytes wrapped_session_key; ///< K under Em (asymmetric)
+  bytes iv;                  ///< CBC IV for the image
+  bytes ciphered_image;      ///< software under K (symmetric, AES-CBC+PKCS7)
+};
+
+/// Holds the device keypair; provisions processors and answers Em requests.
+class chip_manufacturer {
+ public:
+  /// Generate the device keypair (Em, Dm).
+  chip_manufacturer(rng& r, unsigned modulus_bits);
+
+  /// Step 3: the editor requests Em; it travels in clear on the channel.
+  [[nodiscard]] crypto::rsa_public_key publish_public_key(insecure_channel& ch) const;
+
+  /// Factory-time provisioning of Dm (does NOT cross the channel).
+  [[nodiscard]] const crypto::rsa_private_key& provision_private_key() const noexcept {
+    return keys_.priv;
+  }
+
+ private:
+  crypto::rsa_keypair keys_;
+};
+
+/// Owns the plaintext software; wraps K under Em and ships the package.
+class software_editor {
+ public:
+  explicit software_editor(bytes software_image)
+      : image_(std::move(software_image)) {}
+
+  /// Steps 4 and 6-prep: pick K, cipher the software with it, wrap K under
+  /// Em, send everything over the channel.
+  [[nodiscard]] software_package deliver(const crypto::rsa_public_key& em,
+                                         insecure_channel& ch, rng& r) const;
+
+  [[nodiscard]] const bytes& plaintext_image() const noexcept { return image_; }
+
+ private:
+  bytes image_;
+};
+
+/// The "secure" processor: Dm lives inside; unwraps K and deciphers.
+class secure_processor {
+ public:
+  explicit secure_processor(crypto::rsa_private_key dm) : dm_(std::move(dm)) {}
+
+  /// Steps 5-6: unwrap K with Dm, decipher the software image.
+  /// \throws std::invalid_argument if the package is malformed.
+  [[nodiscard]] bytes receive(const software_package& pkg) const;
+
+  /// The recovered session key from the last receive() (test hook; in
+  /// silicon this never leaves the chip).
+  [[nodiscard]] const bytes& last_session_key() const noexcept { return last_key_; }
+
+ private:
+  crypto::rsa_private_key dm_;
+  mutable bytes last_key_;
+};
+
+/// Eavesdropper check: true when \p secret appears as a contiguous
+/// substring of any recorded message (i.e. the protocol leaked it).
+[[nodiscard]] bool channel_leaks(const insecure_channel& ch, std::span<const u8> secret);
+
+} // namespace buscrypt::keymgmt

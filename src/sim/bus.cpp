@@ -1,0 +1,38 @@
+#include "sim/bus.hpp"
+
+namespace buscrypt::sim {
+
+void external_memory::emit_beats(addr_t addr, std::span<const u8> data, bool write) {
+  if (probes_.empty()) return;
+  const unsigned bus_bytes = dram_->timing().bus_bytes;
+  for (std::size_t off = 0; off < data.size(); off += bus_bytes) {
+    bus_beat beat;
+    beat.addr = addr + off;
+    beat.write = write;
+    const std::size_t n = std::min<std::size_t>(bus_bytes, data.size() - off);
+    beat.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                     data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    beat.at = now_ + (off / bus_bytes) * dram_->timing().beat;
+    for (bus_probe* p : probes_) p->on_beat(beat);
+  }
+}
+
+cycles external_memory::read(addr_t addr, std::span<u8> out) {
+  const cycles t = dram_->access_time(addr, out.size());
+  dram_->read_bytes(addr, out);
+  emit_beats(addr, out, /*write=*/false);
+  now_ += t;
+  bytes_read_ += out.size();
+  return t;
+}
+
+cycles external_memory::write(addr_t addr, std::span<const u8> in) {
+  const cycles t = dram_->access_time(addr, in.size());
+  dram_->write_bytes(addr, in);
+  emit_beats(addr, in, /*write=*/true);
+  now_ += t;
+  bytes_written_ += in.size();
+  return t;
+}
+
+} // namespace buscrypt::sim

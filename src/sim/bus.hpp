@@ -1,0 +1,71 @@
+#pragma once
+/// \file bus.hpp
+/// The processor-memory bus — "the weakest point of the system, hacker's
+/// favorite security hole" (Section 1). external_memory drives DRAM over
+/// this bus and exposes probe taps: every beat (address + data + direction)
+/// is observable, modelling "simple board-level probing at almost no cost".
+
+#include "sim/dram.hpp"
+#include "sim/memory_port.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace buscrypt::sim {
+
+/// One observed bus beat, as a logic analyser would capture it.
+struct bus_beat {
+  cycles at = 0;     ///< simulated time of the beat
+  addr_t addr = 0;   ///< address driven on the address lines
+  bool write = false;
+  bytes data;        ///< data lines for this beat (bus_bytes wide or less)
+};
+
+/// Observer interface for attack code and loggers.
+class bus_probe {
+ public:
+  virtual ~bus_probe() = default;
+  virtual void on_beat(const bus_beat& beat) = 0;
+};
+
+/// A probe that simply records everything it sees.
+class recording_probe final : public bus_probe {
+ public:
+  void on_beat(const bus_beat& beat) override { log_.push_back(beat); }
+  [[nodiscard]] const std::vector<bus_beat>& log() const noexcept { return log_; }
+  void clear() noexcept { log_.clear(); }
+
+ private:
+  std::vector<bus_beat> log_;
+};
+
+/// The off-chip path: memory controller + bus + DRAM. Implements
+/// memory_port so EDUs can decorate it. Advances a local clock so probes
+/// get coherent timestamps.
+class external_memory final : public memory_port {
+ public:
+  explicit external_memory(dram& backing) : dram_(&backing) {}
+
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  /// Attach an observer; not owned. Multiple probes allowed.
+  void attach(bus_probe& probe) { probes_.push_back(&probe); }
+
+  /// Bytes moved (for bandwidth accounting, e.g. the compression bench).
+  [[nodiscard]] u64 bytes_read() const noexcept { return bytes_read_; }
+  [[nodiscard]] u64 bytes_written() const noexcept { return bytes_written_; }
+
+  [[nodiscard]] dram& backing() noexcept { return *dram_; }
+
+ private:
+  void emit_beats(addr_t addr, std::span<const u8> data, bool write);
+
+  dram* dram_;
+  std::vector<bus_probe*> probes_;
+  cycles now_ = 0;
+  u64 bytes_read_ = 0;
+  u64 bytes_written_ = 0;
+};
+
+} // namespace buscrypt::sim

@@ -1,0 +1,163 @@
+#include "sim/cache.hpp"
+
+#include "common/bitops.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::sim {
+
+cache::cache(const cache_config& cfg, memory_port& lower)
+    : cfg_(cfg), lower_(&lower) {
+  if (!is_pow2(cfg.line_size) || cfg.line_size < 8)
+    throw std::invalid_argument("cache: line_size must be a power of two >= 8");
+  if (cfg.ways == 0 || cfg.size % (cfg.line_size * cfg.ways) != 0)
+    throw std::invalid_argument("cache: size must be a multiple of line_size*ways");
+  n_sets_ = cfg.size / (cfg.line_size * cfg.ways);
+  if (!is_pow2(n_sets_))
+    throw std::invalid_argument("cache: set count must be a power of two");
+  lines_.resize(n_sets_ * cfg.ways);
+  for (auto& l : lines_) l.data.resize(cfg.line_size, 0);
+}
+
+std::size_t cache::set_index(addr_t line_addr) const noexcept {
+  return static_cast<std::size_t>((line_addr / cfg_.line_size) & (n_sets_ - 1));
+}
+
+bool cache::contains(addr_t addr) const noexcept {
+  const addr_t line_addr = addr - addr % cfg_.line_size;
+  const std::size_t base = set_index(line_addr) * cfg_.ways;
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    const line& l = lines_[base + w];
+    if (l.valid && l.tag == line_addr) return true;
+  }
+  return false;
+}
+
+cache::locate_result cache::locate(addr_t line_addr, bool for_write) {
+  const std::size_t base = set_index(line_addr) * cfg_.ways;
+  ++tick_;
+
+  // Hit?
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    line& l = lines_[base + w];
+    if (l.valid && l.tag == line_addr) {
+      ++stats_.hits;
+      l.last_used = tick_;
+      return {&l, 0};
+    }
+  }
+
+  // Miss: pick a victim — first invalid way, else true LRU.
+  ++stats_.misses;
+  line* victim = &lines_[base];
+  for (unsigned w = 0; w < cfg_.ways; ++w) {
+    line& l = lines_[base + w];
+    if (!l.valid) {
+      victim = &l;
+      break;
+    }
+    if (l.last_used < victim->last_used) victim = &l;
+  }
+
+  cycles spent = 0;
+  if (victim->valid) {
+    ++stats_.evictions;
+    if (victim->dirty) {
+      ++stats_.writebacks;
+      spent += lower_->write(victim->tag, victim->data);
+    }
+  }
+
+  spent += lower_->read(line_addr, victim->data);
+  victim->valid = true;
+  victim->dirty = for_write && cfg_.write_back;
+  victim->tag = line_addr;
+  victim->last_used = tick_;
+  return {victim, spent};
+}
+
+cycles cache::read(addr_t addr, std::span<u8> out) {
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const addr_t a = addr + done;
+    const addr_t line_addr = a - a % cfg_.line_size;
+    const std::size_t offset = static_cast<std::size_t>(a - line_addr);
+    const std::size_t n = std::min(cfg_.line_size - offset, out.size() - done);
+
+    ++stats_.accesses;
+    auto [entry, extra] = locate(line_addr, /*for_write=*/false);
+    for (std::size_t i = 0; i < n; ++i) out[done + i] = entry->data[offset + i];
+    stats_.stall_cycles += extra;
+    total += cfg_.hit_latency + extra;
+    done += n;
+  }
+  return total;
+}
+
+cycles cache::write(addr_t addr, std::span<const u8> in) {
+  cycles total = 0;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const addr_t a = addr + done;
+    const addr_t line_addr = a - a % cfg_.line_size;
+    const std::size_t offset = static_cast<std::size_t>(a - line_addr);
+    const std::size_t n = std::min(cfg_.line_size - offset, in.size() - done);
+
+    ++stats_.accesses;
+    if (cfg_.write_back) {
+      auto [entry, extra] = locate(line_addr, /*for_write=*/true);
+      for (std::size_t i = 0; i < n; ++i) entry->data[offset + i] = in[done + i];
+      entry->dirty = true;
+      stats_.stall_cycles += extra;
+      total += cfg_.hit_latency + extra;
+    } else {
+      // Write-through: update the line if resident, always write below.
+      const std::size_t base = set_index(line_addr) * cfg_.ways;
+      bool hit = false;
+      for (unsigned w = 0; w < cfg_.ways; ++w) {
+        line& l = lines_[base + w];
+        if (l.valid && l.tag == line_addr) {
+          for (std::size_t i = 0; i < n; ++i) l.data[offset + i] = in[done + i];
+          l.last_used = ++tick_;
+          hit = true;
+          break;
+        }
+      }
+      if (hit) ++stats_.hits;
+      else ++stats_.misses;
+
+      if (!hit && cfg_.write_allocate) {
+        auto [entry, extra] = locate(line_addr, /*for_write=*/true);
+        // locate() counted another access path; rebalance the counters so
+        // one store == one access.
+        --stats_.accesses;
+        --stats_.misses;
+        for (std::size_t i = 0; i < n; ++i) entry->data[offset + i] = in[done + i];
+        stats_.stall_cycles += extra;
+        total += extra;
+      }
+
+      ++stats_.bypass_writes;
+      const cycles below = lower_->write(a, in.subspan(done, n));
+      stats_.stall_cycles += below;
+      total += cfg_.hit_latency + below;
+    }
+    done += n;
+  }
+  return total;
+}
+
+cycles cache::flush() {
+  cycles total = 0;
+  for (auto& l : lines_) {
+    if (l.valid && l.dirty) {
+      total += lower_->write(l.tag, l.data);
+      ++stats_.writebacks;
+      l.dirty = false;
+    }
+  }
+  return total;
+}
+
+} // namespace buscrypt::sim

@@ -1,0 +1,64 @@
+#pragma once
+/// \file cpu.hpp
+/// Trace-driven in-order core. One instruction issues per cycle; every
+/// memory access blocks until the cache answers. This is deliberately the
+/// simplest model in which the survey's overhead numbers are meaningful:
+/// slowdown = extra memory-path cycles / baseline cycles.
+
+#include "sim/cache.hpp"
+#include "sim/trace.hpp"
+
+namespace buscrypt::sim {
+
+/// Results of one workload execution.
+struct run_stats {
+  u64 instructions = 0;  ///< fetches executed
+  u64 mem_ops = 0;       ///< loads + stores
+  cycles total_cycles = 0;
+  cycles stall_cycles = 0; ///< cycles beyond 1-per-instruction issue
+
+  [[nodiscard]] double cpi() const noexcept {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(total_cycles) / static_cast<double>(instructions);
+  }
+
+  /// Slowdown of this run against a baseline run (1.0 = no overhead).
+  [[nodiscard]] double slowdown_vs(const run_stats& baseline) const noexcept {
+    return baseline.total_cycles == 0
+               ? 0.0
+               : static_cast<double>(total_cycles) / static_cast<double>(baseline.total_cycles);
+  }
+};
+
+/// The core. Functional: loads really read bytes, stores really write them
+/// (a value derived from the address, so ciphertext downstream is real).
+class cpu {
+ public:
+  /// \param l1 the first-level memory the core talks to (unified).
+  /// \param hit_latency cycles an L1 hit costs; hits are folded into the
+  ///        1-cycle issue slot, so only latency beyond this stalls.
+  explicit cpu(memory_port& l1, cycles hit_latency = 1)
+      : l1i_(&l1), l1d_(&l1), hit_latency_(hit_latency) {}
+
+  /// Split (Harvard) form: instruction fetches go to \p l1i, data accesses
+  /// to \p l1d. No coherence is modeled between them; workloads must not
+  /// treat one address as both code and data (ours do not).
+  cpu(memory_port& l1i, memory_port& l1d, cycles hit_latency)
+      : l1i_(&l1i), l1d_(&l1d), hit_latency_(hit_latency) {}
+
+  /// Extra cycles charged on *every* L1 access — the Fig. 7b cache-side
+  /// EDU tax ("modifying the cache access time directly impacts the system
+  /// performance").
+  void set_access_tax(cycles t) noexcept { access_tax_ = t; }
+
+  /// Execute a whole trace.
+  [[nodiscard]] run_stats run(const workload& w);
+
+ private:
+  memory_port* l1i_;
+  memory_port* l1d_;
+  cycles hit_latency_;
+  cycles access_tax_ = 0;
+};
+
+} // namespace buscrypt::sim

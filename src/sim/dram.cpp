@@ -1,0 +1,45 @@
+#include "sim/dram.hpp"
+
+#include <stdexcept>
+
+namespace buscrypt::sim {
+
+dram::dram(std::size_t size, dram_timing timing)
+    : store_(size, 0), timing_(timing) {
+  if (size == 0) throw std::invalid_argument("dram: zero size");
+  if (timing_.bus_bytes == 0 || timing_.row_size == 0)
+    throw std::invalid_argument("dram: invalid timing parameters");
+}
+
+void dram::check_range(addr_t addr, std::size_t len) const {
+  if (addr + len > store_.size() || addr + len < addr)
+    throw std::out_of_range("dram: access beyond end of memory");
+}
+
+void dram::read_bytes(addr_t addr, std::span<u8> out) const {
+  check_range(addr, out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = store_[addr + i];
+}
+
+void dram::write_bytes(addr_t addr, std::span<const u8> in) {
+  check_range(addr, in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) store_[addr + i] = in[i];
+}
+
+cycles dram::access_time(addr_t addr, std::size_t len) {
+  check_range(addr, len);
+  const addr_t row = addr / timing_.row_size;
+  cycles first;
+  if (row == open_row_) {
+    first = timing_.row_hit;
+    ++row_hits_;
+  } else {
+    first = timing_.row_miss;
+    ++row_misses_;
+    open_row_ = row;
+  }
+  const std::size_t beats = (len + timing_.bus_bytes - 1) / timing_.bus_bytes;
+  return first + beats * timing_.beat;
+}
+
+} // namespace buscrypt::sim

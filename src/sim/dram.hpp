@@ -1,0 +1,59 @@
+#pragma once
+/// \file dram.hpp
+/// External memory: the untrusted RAM chip outside the SoC boundary. Holds
+/// the actual byte image (ciphertext when an EDU is in front of it) and
+/// charges open-page DRAM timing.
+
+#include "common/types.hpp"
+
+#include <span>
+#include <vector>
+
+namespace buscrypt::sim {
+
+/// Timing parameters in CPU cycles. Defaults approximate an embedded
+/// SDRAM behind a 100 MHz-class core: tens of cycles to first data, a few
+/// cycles per burst beat.
+struct dram_timing {
+  cycles row_hit = 18;    ///< first-data latency, open-row hit
+  cycles row_miss = 46;   ///< first-data latency, row conflict (ACT+CAS)
+  cycles beat = 2;        ///< cycles per bus beat once bursting
+  unsigned bus_bytes = 8; ///< bytes transferred per beat
+  std::size_t row_size = 2048; ///< DRAM row (page) size in bytes
+};
+
+/// Byte-addressable external memory with open-row timing.
+class dram {
+ public:
+  dram(std::size_t size, dram_timing timing = {});
+
+  /// Functional access to the stored image.
+  void read_bytes(addr_t addr, std::span<u8> out) const;
+  void write_bytes(addr_t addr, std::span<const u8> in);
+
+  /// Latency of a burst of \p len bytes at \p addr; updates the open row.
+  [[nodiscard]] cycles access_time(addr_t addr, std::size_t len);
+
+  /// The bare chip contents — what a Class-II attacker desoldering or
+  /// probing the part reads. Attacks and loaders use this deliberately.
+  [[nodiscard]] std::span<u8> raw() noexcept { return store_; }
+  [[nodiscard]] std::span<const u8> raw() const noexcept { return store_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+  [[nodiscard]] const dram_timing& timing() const noexcept { return timing_; }
+
+  /// Timing statistics.
+  [[nodiscard]] u64 row_hits() const noexcept { return row_hits_; }
+  [[nodiscard]] u64 row_misses() const noexcept { return row_misses_; }
+
+ private:
+  void check_range(addr_t addr, std::size_t len) const;
+
+  std::vector<u8> store_;
+  dram_timing timing_;
+  addr_t open_row_ = ~addr_t{0};
+  u64 row_hits_ = 0;
+  u64 row_misses_ = 0;
+};
+
+} // namespace buscrypt::sim

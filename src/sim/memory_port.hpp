@@ -1,0 +1,29 @@
+#pragma once
+/// \file memory_port.hpp
+/// The composition seam of the whole simulator: anything that can serve
+/// line-sized reads/writes with a latency. The cache talks to a
+/// memory_port; an EDU is a memory_port decorator wrapping the external
+/// memory — which is exactly the survey's Fig. 2c/7a topology (cache ->
+/// EDU -> memory controller -> external memory).
+
+#include "common/types.hpp"
+
+#include <span>
+
+namespace buscrypt::sim {
+
+/// A request/response memory interface. Functional and timed: data really
+/// moves (so ciphertext really sits in DRAM and probes see real bytes) and
+/// every call returns the cycles it consumed.
+class memory_port {
+ public:
+  virtual ~memory_port() = default;
+
+  /// Read |out| bytes at addr. Returns total latency in cycles.
+  [[nodiscard]] virtual cycles read(addr_t addr, std::span<u8> out) = 0;
+
+  /// Write |in| bytes at addr. Returns total latency in cycles.
+  [[nodiscard]] virtual cycles write(addr_t addr, std::span<const u8> in) = 0;
+};
+
+} // namespace buscrypt::sim

@@ -1,0 +1,40 @@
+#pragma once
+/// \file trace.hpp
+/// Memory-access traces: the unit of work the CPU model executes. The
+/// survey's overheads are all functions of the access pattern (fetch
+/// locality, JUMP rate, write fraction), which traces capture exactly.
+
+#include "common/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace buscrypt::sim {
+
+/// What kind of bus transaction an instruction performs.
+enum class access_kind : u8 {
+  fetch, ///< instruction fetch (reads are code; the common case)
+  load,  ///< data read
+  store, ///< data write
+};
+
+/// One architectural memory access.
+struct mem_access {
+  addr_t addr = 0;
+  u8 size = 4; ///< bytes: 1, 2, 4 or 8
+  access_kind kind = access_kind::fetch;
+};
+
+/// An ordered access stream plus bookkeeping.
+using trace = std::vector<mem_access>;
+
+/// A named trace with the memory image it executes over.
+struct workload {
+  std::string name;
+  trace accesses;
+  std::size_t footprint = 0; ///< bytes of address space the trace touches
+  double write_fraction = 0; ///< stores / total, for reporting
+  double jump_rate = 0;      ///< fraction of fetches that break sequence
+};
+
+} // namespace buscrypt::sim

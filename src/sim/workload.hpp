@@ -1,0 +1,48 @@
+#pragma once
+/// \file workload.hpp
+/// Synthetic workload generators. Each models one of the execution
+/// behaviours the survey's arguments hinge on:
+///   - sequential code     -> prefetch-friendly (Gilmont's <2.5% case)
+///   - jumpy code          -> the CBC random-access problem
+///   - data read/write mix -> the sub-block write penalty
+///   - pointer chasing     -> latency-bound, worst case for block EDUs
+///   - streaming           -> bandwidth-bound
+
+#include "common/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace buscrypt::sim {
+
+/// Straight-line code: sequential 4-byte fetches over \p code_size bytes of
+/// code, with a short backward loop every \p loop_every instructions
+/// (loop_every == 0 disables looping).
+[[nodiscard]] workload make_sequential_code(std::size_t n_instr, std::size_t code_size,
+                                            std::size_t loop_every, u64 seed);
+
+/// Branchy code: each fetch jumps to a uniformly random aligned target with
+/// probability \p jump_rate, otherwise advances sequentially. This is the
+/// "random data access problem (JUMP instructions)" workload.
+[[nodiscard]] workload make_jumpy_code(std::size_t n_instr, std::size_t code_size,
+                                       double jump_rate, u64 seed);
+
+/// Loads and stores over a working set: every instruction fetches, and a
+/// fraction \p mem_rate also touches data, of which \p write_fraction are
+/// stores of \p store_size bytes.
+[[nodiscard]] workload make_data_rw(std::size_t n_instr, std::size_t working_set,
+                                    double mem_rate, double write_fraction,
+                                    u8 store_size, u64 seed);
+
+/// Dependent random loads over a working set (latency-bound).
+[[nodiscard]] workload make_pointer_chase(std::size_t n_loads, std::size_t working_set,
+                                          u64 seed);
+
+/// Unit-stride streaming reads with one store per \p write_every elements.
+[[nodiscard]] workload make_streaming(std::size_t n_elems, std::size_t array_size,
+                                      std::size_t write_every, u64 seed);
+
+/// The common suite the tab1 survey-overheads bench runs every engine on:
+/// a mix representative of embedded firmware (mostly sequential code, some
+/// branches, moderate data traffic).
+[[nodiscard]] std::vector<workload> standard_suite(u64 seed);
+
+} // namespace buscrypt::sim

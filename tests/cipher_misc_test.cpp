@@ -1,0 +1,173 @@
+// Best's substitution/transposition cipher and the DS5002FP byte cipher:
+// correctness plus the *structural weaknesses* the survey uses them to
+// illustrate.
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/best_cipher.hpp"
+#include "crypto/toy_cipher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace buscrypt::crypto {
+namespace {
+
+TEST(BestCipher, RoundTrip) {
+  rng r(1);
+  const best_cipher c(r.random_bytes(16));
+  for (int i = 0; i < 64; ++i) {
+    const bytes pt = r.random_bytes(8);
+    bytes ct(8), back(8);
+    c.encrypt_block(pt, ct);
+    c.decrypt_block(ct, back);
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(BestCipher, KeyedDifferently) {
+  rng r(2);
+  const best_cipher a(r.random_bytes(16));
+  const best_cipher b(r.random_bytes(16));
+  const bytes pt = r.random_bytes(8);
+  bytes ca(8), cb(8);
+  a.encrypt_block(pt, ca);
+  b.encrypt_block(pt, cb);
+  EXPECT_NE(ca, cb);
+}
+
+TEST(BestCipher, RejectsBadKey) {
+  rng r(3);
+  EXPECT_THROW(best_cipher(r.random_bytes(8)), std::invalid_argument);
+}
+
+TEST(BestCipher, PoorDiffusionOneByteOut) {
+  // The historical weakness: substitution+transposition has NO inter-byte
+  // mixing, so flipping one input bit changes exactly ONE output byte.
+  rng r(4);
+  const best_cipher c(r.random_bytes(16));
+  for (int trial = 0; trial < 50; ++trial) {
+    bytes pt = r.random_bytes(8);
+    bytes a(8), b(8);
+    c.encrypt_block(pt, a);
+    pt[r.below(8)] ^= static_cast<u8>(1u << r.below(8));
+    c.encrypt_block(pt, b);
+    int bytes_changed = 0;
+    for (int i = 0; i < 8; ++i)
+      if (a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)])
+        ++bytes_changed;
+    EXPECT_EQ(bytes_changed, 1);
+  }
+}
+
+TEST(BestCipher, AvalancheFarBelowModernCiphers) {
+  // Quantify E3's diffusion gap: Best flips ~4 bits of 64, AES-class
+  // ciphers flip ~32 of 64 (DES) / 64 of 128 (AES).
+  rng r(5);
+  const best_cipher c(r.random_bytes(16));
+  double flipped = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    bytes pt = r.random_bytes(8);
+    bytes a(8), b(8);
+    c.encrypt_block(pt, a);
+    pt[r.below(8)] ^= static_cast<u8>(1u << r.below(8));
+    c.encrypt_block(pt, b);
+    flipped += static_cast<double>(hamming_bits(a, b));
+  }
+  EXPECT_LT(flipped / trials, 9.0); // << 32
+}
+
+TEST(ByteBusCipher, RoundTripAcrossAddresses) {
+  rng r(6);
+  const byte_bus_cipher c(r.random_bytes(8), 16);
+  for (addr_t a = 0; a < 2048; a += 37) {
+    for (int v = 0; v < 256; v += 17) {
+      const u8 ct = c.encrypt_byte(a, static_cast<u8>(v));
+      EXPECT_EQ(c.decrypt_byte(a, ct), static_cast<u8>(v));
+    }
+  }
+}
+
+TEST(ByteBusCipher, PerAddressBijection) {
+  rng r(7);
+  const byte_bus_cipher c(r.random_bytes(8), 16);
+  for (addr_t a : {addr_t{0}, addr_t{1}, addr_t{0x1234}}) {
+    std::set<u8> outputs;
+    for (int v = 0; v < 256; ++v) outputs.insert(c.encrypt_byte(a, static_cast<u8>(v)));
+    EXPECT_EQ(outputs.size(), 256u) << "address " << a;
+  }
+}
+
+TEST(ByteBusCipher, AddressDependence) {
+  rng r(8);
+  const byte_bus_cipher c(r.random_bytes(8), 16);
+  int same = 0;
+  for (int v = 0; v < 256; ++v)
+    if (c.encrypt_byte(0, static_cast<u8>(v)) == c.encrypt_byte(1, static_cast<u8>(v)))
+      ++same;
+  EXPECT_LT(same, 32); // different alphabets at different addresses
+}
+
+TEST(ByteBusCipher, DeterministicPerAddress) {
+  // The property Kuhn exploits: same (addr, byte) -> same bus value, and
+  // only 256 possibilities exist per address.
+  rng r(9);
+  const byte_bus_cipher c(r.random_bytes(8), 16);
+  EXPECT_EQ(c.encrypt_byte(42, 0x99), c.encrypt_byte(42, 0x99));
+}
+
+TEST(ByteBusCipher, AddressScramblingBijective) {
+  rng r(10);
+  const byte_bus_cipher c(r.random_bytes(8), 16);
+  std::set<addr_t> seen;
+  for (addr_t a = 0; a < (1u << 16); a += 19) {
+    const addr_t s = c.scramble_addr(a);
+    EXPECT_LT(s, 1u << 16);
+    EXPECT_EQ(c.unscramble_addr(s), a);
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), (0x10000u + 18) / 19);
+}
+
+TEST(ByteBusCipher, RangeHelpers) {
+  rng r(11);
+  const byte_bus_cipher c(r.random_bytes(8), 16);
+  const bytes pt = r.random_bytes(100);
+  bytes ct(100), back(100);
+  c.encrypt_range(0x100, pt, ct);
+  EXPECT_NE(ct, pt);
+  c.decrypt_range(0x100, ct, back);
+  EXPECT_EQ(back, pt);
+}
+
+TEST(ByteBusCipher, RejectsBadParameters) {
+  rng r(12);
+  EXPECT_THROW(byte_bus_cipher(r.random_bytes(7), 16), std::invalid_argument);
+  EXPECT_THROW(byte_bus_cipher(r.random_bytes(8), 0), std::invalid_argument);
+  EXPECT_THROW(byte_bus_cipher(r.random_bytes(8), 49), std::invalid_argument);
+}
+
+TEST(ByteBusCipher, KeySpaceVsBlockSpace) {
+  // Fig. 6's lesson in numbers: per address the attacker faces only 256
+  // candidates regardless of key size — two different keys still both
+  // yield byte-bijections, enumerable in 256 probes.
+  rng r(13);
+  const byte_bus_cipher c1(r.random_bytes(8), 16);
+  const byte_bus_cipher c2(r.random_bytes(8), 16);
+  // Exhaustively invert c1's table at one address in 256 oracle calls.
+  std::array<int, 256> table{};
+  table.fill(-1);
+  for (int v = 0; v < 256; ++v) table[c1.encrypt_byte(7, static_cast<u8>(v))] = v;
+  for (int ct = 0; ct < 256; ++ct) {
+    ASSERT_NE(table[static_cast<std::size_t>(ct)], -1);
+    EXPECT_EQ(c1.decrypt_byte(7, static_cast<u8>(ct)),
+              static_cast<u8>(table[static_cast<std::size_t>(ct)]));
+  }
+  (void)c2;
+}
+
+} // namespace
+} // namespace buscrypt::crypto

@@ -1,0 +1,158 @@
+// Tests for the common substrate: bit operations, hex codec, RNG, tables.
+
+#include "common/bitops.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace buscrypt {
+namespace {
+
+TEST(Bitops, RotationRoundTrips) {
+  const u32 x = 0xDEADBEEF;
+  for (unsigned n = 0; n < 32; ++n) {
+    EXPECT_EQ(rotr32(rotl32(x, n), n), x) << n;
+  }
+  const u64 y = 0x0123456789ABCDEFULL;
+  for (unsigned n = 0; n < 64; ++n) {
+    EXPECT_EQ(rotr64(rotl64(y, n), n), y) << n;
+  }
+}
+
+TEST(Bitops, BigEndianLoadStore32) {
+  u8 buf[4];
+  store_be32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+}
+
+TEST(Bitops, BigEndianLoadStore64) {
+  u8 buf[8];
+  store_be64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Bitops, LittleEndianLoadStore) {
+  u8 buf[8];
+  store_le32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(load_le32(buf), 0x01020304u);
+  store_le64(buf, 0xA1B2C3D4E5F60718ULL);
+  EXPECT_EQ(buf[0], 0x18);
+  EXPECT_EQ(load_le64(buf), 0xA1B2C3D4E5F60718ULL);
+}
+
+TEST(Bitops, XorBytesIsInvolutive) {
+  bytes a = {1, 2, 3, 4};
+  const bytes b = {0xFF, 0x00, 0xAA, 0x55};
+  bytes orig = a;
+  xor_bytes(a, b);
+  xor_bytes(a, b);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(Bitops, HammingDistance) {
+  const bytes a = {0x00, 0xFF};
+  const bytes b = {0x01, 0xFF};
+  EXPECT_EQ(hamming_bits(a, b), 1u);
+  EXPECT_EQ(hamming_bits(a, a), 0u);
+}
+
+TEST(Bitops, PopcountBytes) {
+  const bytes a = {0xFF, 0x0F, 0x01};
+  EXPECT_EQ(popcount_bytes(a), 8u + 4u + 1u);
+}
+
+TEST(Bitops, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(63));
+  EXPECT_EQ(log2_pow2(64), 6u);
+}
+
+TEST(Hex, RoundTrip) {
+  const bytes data = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F};
+  EXPECT_EQ(to_hex(data), "deadbeef007f");
+  EXPECT_EQ(from_hex("deadbeef007f"), data);
+  EXPECT_EQ(from_hex("DEADBEEF007F"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW((void)from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW((void)from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Hex, HexdumpShape) {
+  const bytes data(40, 0x41); // 'A'
+  const std::string dump = hexdump(data, 0x1000);
+  EXPECT_NE(dump.find("00001000"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAAAAAAAAAAAAAA|"), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 3);
+}
+
+TEST(Rng, Deterministic) {
+  rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  rng r(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = r.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, ChanceExtremes) {
+  rng r(9);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (r.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, FillProducesBalancedBits) {
+  rng r(11);
+  bytes buf(4096);
+  r.fill(buf);
+  const std::size_t ones = popcount_bytes(buf);
+  EXPECT_NEAR(static_cast<double>(ones), 4096 * 4.0, 4096 * 0.5);
+}
+
+TEST(Table, AlignsAndFormats) {
+  table t({"engine", "overhead"});
+  t.add_row({"plaintext", "+0.0%"});
+  t.add_row({"AEGIS", "+25.0%"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| engine    |"), std::string::npos);
+  EXPECT_NE(s.find("+25.0%"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(table::num(1234567ull), "1,234,567");
+  EXPECT_EQ(table::pct(0.25, 1), "+25.0%");
+  EXPECT_EQ(table::pct(-0.031, 1), "-3.1%");
+}
+
+} // namespace
+} // namespace buscrypt

@@ -1,0 +1,158 @@
+// DES / 3DES known-answer and property tests (FIPS 46-3).
+
+#include "common/bitops.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "crypto/des.hpp"
+
+#include <gtest/gtest.h>
+
+namespace buscrypt::crypto {
+namespace {
+
+bytes H(std::string_view s) { return from_hex(s); }
+
+TEST(Des, ClassicKnownAnswer) {
+  // The canonical worked example (appears in FIPS validation suites).
+  const des c(H("133457799bbcdff1"));
+  const bytes pt = H("0123456789abcdef");
+  bytes ct(8);
+  c.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "85e813540f0ab405");
+  bytes back(8);
+  c.decrypt_block(ct, back);
+  EXPECT_EQ(back, pt);
+}
+
+TEST(Des, SecondKnownAnswer) {
+  const des c(H("0e329232ea6d0d73"));
+  const bytes pt = H("8787878787878787");
+  bytes ct(8);
+  c.encrypt_block(pt, ct);
+  EXPECT_EQ(to_hex(ct), "0000000000000000");
+}
+
+TEST(Des, ParityBitsIgnored) {
+  // Keys differing only in parity bits (bit 0 of each byte) are equivalent.
+  const bytes key_a = H("133457799bbcdff1");
+  bytes key_b = key_a;
+  for (auto& b : key_b) b ^= 0x01;
+  const bytes pt = H("0123456789abcdef");
+  bytes ct_a(8), ct_b(8);
+  des(key_a).encrypt_block(pt, ct_a);
+  des(key_b).encrypt_block(pt, ct_b);
+  EXPECT_EQ(ct_a, ct_b);
+}
+
+TEST(Des, RejectsBadKeyLength) {
+  rng r(1);
+  EXPECT_THROW(des(r.random_bytes(7)), std::invalid_argument);
+  EXPECT_THROW(des(r.random_bytes(9)), std::invalid_argument);
+}
+
+TEST(Des, RoundTripRandom) {
+  rng r(2);
+  for (int i = 0; i < 32; ++i) {
+    const des c(r.random_bytes(8));
+    const bytes pt = r.random_bytes(8);
+    bytes ct(8), back(8);
+    c.encrypt_block(pt, ct);
+    c.decrypt_block(ct, back);
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(Des, AvalancheNearHalfTheBits) {
+  rng r(3);
+  const des c(r.random_bytes(8));
+  double flipped = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    bytes pt = r.random_bytes(8);
+    bytes a(8), b(8);
+    c.encrypt_block(pt, a);
+    pt[r.below(8)] ^= static_cast<u8>(1u << r.below(8));
+    c.encrypt_block(pt, b);
+    flipped += static_cast<double>(hamming_bits(a, b));
+  }
+  EXPECT_NEAR(flipped / trials, 32.0, 4.0);
+}
+
+TEST(Des, ComplementationProperty) {
+  // DES's famous complementation: E_{~k}(~p) == ~E_k(p).
+  rng r(4);
+  const bytes key = r.random_bytes(8);
+  const bytes pt = r.random_bytes(8);
+  bytes key_c = key, pt_c = pt;
+  for (auto& b : key_c) b = static_cast<u8>(~b);
+  for (auto& b : pt_c) b = static_cast<u8>(~b);
+
+  bytes ct(8), ct_c(8);
+  des(key).encrypt_block(pt, ct);
+  des(key_c).encrypt_block(pt_c, ct_c);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(static_cast<u8>(~ct[static_cast<std::size_t>(i)]),
+              ct_c[static_cast<std::size_t>(i)]);
+}
+
+TEST(TripleDes, DegeneratesToSingleDesWithEqualKeys) {
+  rng r(5);
+  const bytes k = r.random_bytes(8);
+  bytes k3;
+  for (int i = 0; i < 3; ++i) k3.insert(k3.end(), k.begin(), k.end());
+
+  const des single(k);
+  const triple_des triple(k3);
+  const bytes pt = r.random_bytes(8);
+  bytes ct_s(8), ct_t(8);
+  single.encrypt_block(pt, ct_s);
+  triple.encrypt_block(pt, ct_t);
+  EXPECT_EQ(ct_s, ct_t);
+}
+
+TEST(TripleDes, TwoKeyForm) {
+  rng r(6);
+  const bytes k16 = r.random_bytes(16);
+  bytes k24(k16);
+  k24.insert(k24.end(), k16.begin(), k16.begin() + 8); // K3 = K1
+  const triple_des two_key(k16);
+  const triple_des three_key(k24);
+  const bytes pt = r.random_bytes(8);
+  bytes a(8), b(8);
+  two_key.encrypt_block(pt, a);
+  three_key.encrypt_block(pt, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TripleDes, RoundTripAndRejects) {
+  rng r(7);
+  const triple_des c(r.random_bytes(24));
+  for (int i = 0; i < 16; ++i) {
+    const bytes pt = r.random_bytes(8);
+    bytes ct(8), back(8);
+    c.encrypt_block(pt, ct);
+    c.decrypt_block(ct, back);
+    EXPECT_EQ(back, pt);
+  }
+  EXPECT_THROW(triple_des(r.random_bytes(8)), std::invalid_argument);
+  EXPECT_THROW(triple_des(r.random_bytes(23)), std::invalid_argument);
+}
+
+TEST(TripleDes, StrongerThanReusedDes) {
+  // 3DES with independent keys must differ from single DES under any of
+  // its three subkeys.
+  rng r(8);
+  const bytes k24 = r.random_bytes(24);
+  const triple_des t(k24);
+  const bytes pt = r.random_bytes(8);
+  bytes ct_t(8), ct_s(8);
+  t.encrypt_block(pt, ct_t);
+  for (int part = 0; part < 3; ++part) {
+    const des s(std::span<const u8>(k24).subspan(static_cast<std::size_t>(part) * 8, 8));
+    s.encrypt_block(pt, ct_s);
+    EXPECT_NE(ct_t, ct_s);
+  }
+}
+
+} // namespace
+} // namespace buscrypt::crypto

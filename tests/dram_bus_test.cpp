@@ -1,0 +1,130 @@
+// DRAM timing model and the probed external bus.
+
+#include "common/rng.hpp"
+#include "sim/bus.hpp"
+#include "sim/dram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace buscrypt::sim {
+namespace {
+
+TEST(Dram, FunctionalReadWrite) {
+  dram d(4096);
+  const bytes data = {1, 2, 3, 4, 5};
+  d.write_bytes(100, data);
+  bytes out(5);
+  d.read_bytes(100, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(Dram, BoundsChecked) {
+  dram d(4096);
+  bytes buf(16);
+  EXPECT_THROW(d.read_bytes(4090, buf), std::out_of_range);
+  EXPECT_THROW(d.write_bytes(4090, buf), std::out_of_range);
+  EXPECT_THROW((void)d.access_time(4090, 16), std::out_of_range);
+}
+
+TEST(Dram, RowHitFasterThanRowMiss) {
+  dram_timing t;
+  dram d(1 << 20, t);
+  const cycles first = d.access_time(0, 32);        // row miss (cold)
+  const cycles second = d.access_time(64, 32);      // same row: hit
+  const cycles third = d.access_time(1 << 16, 32);  // far away: miss
+  EXPECT_GT(first, second);
+  EXPECT_EQ(third, first);
+  EXPECT_EQ(d.row_hits(), 1u);
+  EXPECT_EQ(d.row_misses(), 2u);
+}
+
+TEST(Dram, BurstCostScalesWithLength) {
+  dram_timing t;
+  dram d(1 << 20, t);
+  (void)d.access_time(0, 8); // open the row
+  const cycles small = d.access_time(8, 8);
+  const cycles large = d.access_time(64, 64);
+  EXPECT_EQ(small, t.row_hit + 1 * t.beat);
+  EXPECT_EQ(large, t.row_hit + 8 * t.beat);
+}
+
+TEST(Dram, RejectsZeroSize) {
+  EXPECT_THROW(dram(0), std::invalid_argument);
+}
+
+TEST(ExternalMemory, MovesDataAndCharges) {
+  dram d(1 << 16);
+  external_memory ext(d);
+  const bytes data = {0xCA, 0xFE};
+  const cycles w = ext.write(10, data);
+  EXPECT_GT(w, 0u);
+  bytes out(2);
+  const cycles r = ext.read(10, out);
+  EXPECT_GT(r, 0u);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(ext.bytes_written(), 2u);
+  EXPECT_EQ(ext.bytes_read(), 2u);
+}
+
+TEST(ExternalMemory, ProbeSeesEveryBeat) {
+  dram d(1 << 16);
+  external_memory ext(d);
+  recording_probe probe;
+  ext.attach(probe);
+
+  bytes line(32);
+  for (std::size_t i = 0; i < line.size(); ++i) line[i] = static_cast<u8>(i);
+  (void)ext.write(0x40, line);
+
+  // 32 bytes over an 8-byte bus = 4 beats.
+  ASSERT_EQ(probe.log().size(), 4u);
+  EXPECT_EQ(probe.log()[0].addr, 0x40u);
+  EXPECT_EQ(probe.log()[1].addr, 0x48u);
+  EXPECT_TRUE(probe.log()[0].write);
+  EXPECT_EQ(probe.log()[0].data[0], 0);
+  EXPECT_EQ(probe.log()[3].data[7], 31);
+
+  bytes out(8);
+  (void)ext.read(0x40, out);
+  ASSERT_EQ(probe.log().size(), 5u);
+  EXPECT_FALSE(probe.log()[4].write);
+}
+
+TEST(ExternalMemory, ProbeTimestampsAdvance) {
+  dram d(1 << 16);
+  external_memory ext(d);
+  recording_probe probe;
+  ext.attach(probe);
+  bytes buf(8);
+  (void)ext.read(0, buf);
+  (void)ext.read(2048, buf);
+  ASSERT_EQ(probe.log().size(), 2u);
+  EXPECT_GT(probe.log()[1].at, probe.log()[0].at);
+}
+
+TEST(ExternalMemory, MultipleProbes) {
+  dram d(1 << 16);
+  external_memory ext(d);
+  recording_probe p1, p2;
+  ext.attach(p1);
+  ext.attach(p2);
+  bytes buf(8);
+  (void)ext.read(0, buf);
+  EXPECT_EQ(p1.log().size(), 1u);
+  EXPECT_EQ(p2.log().size(), 1u);
+}
+
+TEST(ExternalMemory, RawChipAccessBypassesBus) {
+  dram d(1 << 16);
+  external_memory ext(d);
+  recording_probe probe;
+  ext.attach(probe);
+  d.raw()[5] = 0x77; // desolder-and-read path
+  EXPECT_TRUE(probe.log().empty());
+  bytes out(1);
+  (void)ext.read(5, out);
+  EXPECT_EQ(out[0], 0x77);
+}
+
+} // namespace
+} // namespace buscrypt::sim

@@ -1,0 +1,143 @@
+// SHA-256 (FIPS 180-4), HMAC-SHA256 (RFC 4231) and CBC-MAC tests.
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/mac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace buscrypt::crypto {
+namespace {
+
+std::string hash_hex(std::string_view msg) {
+  const auto d = sha256::hash(
+      std::span<const u8>(reinterpret_cast<const u8*>(msg.data()), msg.size()));
+  return to_hex(d);
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  sha256 ctx;
+  const bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(to_hex(ctx.digest()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  rng r(1);
+  const bytes msg = r.random_bytes(10'000);
+  sha256 ctx;
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + r.below(257), msg.size() - off);
+    ctx.update(std::span<const u8>(msg).subspan(off, n));
+    off += n;
+  }
+  EXPECT_EQ(ctx.digest(), sha256::hash(msg));
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Message lengths straddling the 55/56/64-byte padding edges.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const bytes msg(len, 0x5A);
+    sha256 a;
+    a.update(msg);
+    EXPECT_EQ(a.digest(), sha256::hash(msg)) << len;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  const bytes key(20, 0x0b);
+  const char* data = "Hi There";
+  const auto mac = hmac_sha256(
+      key, std::span<const u8>(reinterpret_cast<const u8*>(data), 8));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const char* key = "Jefe";
+  const char* data = "what do ya want for nothing?";
+  const auto mac = hmac_sha256(
+      std::span<const u8>(reinterpret_cast<const u8*>(key), 4),
+      std::span<const u8>(reinterpret_cast<const u8*>(data), 28));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const bytes key(20, 0xaa);
+  const bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const bytes key(131, 0xaa);
+  const char* data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const auto mac = hmac_sha256(
+      key, std::span<const u8>(reinterpret_cast<const u8*>(data), 54));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, TruncatedTags) {
+  rng r(2);
+  const bytes key = r.random_bytes(16);
+  const bytes msg = r.random_bytes(100);
+  const auto full = hmac_sha256(key, msg);
+  const bytes tag8 = hmac_sha256_tag(key, msg, 8);
+  ASSERT_EQ(tag8.size(), 8u);
+  EXPECT_TRUE(std::equal(tag8.begin(), tag8.end(), full.begin()));
+  EXPECT_THROW((void)hmac_sha256_tag(key, msg, 0), std::invalid_argument);
+  EXPECT_THROW((void)hmac_sha256_tag(key, msg, 33), std::invalid_argument);
+}
+
+TEST(CbcMac, DetectsAnyFlippedBit) {
+  rng r(3);
+  const aes c(r.random_bytes(16));
+  bytes msg = r.random_bytes(64);
+  const bytes tag = cbc_mac(c, msg);
+  for (std::size_t i = 0; i < msg.size(); i += 7) {
+    msg[i] ^= 0x40;
+    EXPECT_NE(cbc_mac(c, msg), tag) << i;
+    msg[i] ^= 0x40;
+  }
+  EXPECT_EQ(cbc_mac(c, msg), tag);
+}
+
+TEST(CbcMac, RequiresBlockMultiple) {
+  rng r(4);
+  const aes c(r.random_bytes(16));
+  EXPECT_THROW((void)cbc_mac(c, r.random_bytes(15)), std::invalid_argument);
+}
+
+TEST(TagEqual, ConstantTimeSemantics) {
+  const bytes a = {1, 2, 3, 4};
+  const bytes b = {1, 2, 3, 4};
+  const bytes c = {1, 2, 3, 5};
+  const bytes d = {1, 2, 3};
+  EXPECT_TRUE(tag_equal(a, b));
+  EXPECT_FALSE(tag_equal(a, c));
+  EXPECT_FALSE(tag_equal(a, d));
+}
+
+} // namespace
+} // namespace buscrypt::crypto

@@ -1,0 +1,112 @@
+// The Fig. 1 protocol end-to-end, with the eavesdropper's view checked.
+
+#include "keymgmt/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace buscrypt::keymgmt {
+namespace {
+
+bytes make_software(std::size_t n, u64 seed) {
+  rng r(seed);
+  bytes sw = r.random_bytes(n);
+  const char* banner = "FIRMWARE IMAGE (c) SOFTWARE EDITOR ";
+  for (std::size_t i = 0; i < 35 && i < sw.size(); ++i)
+    sw[i] = static_cast<u8>(banner[i]);
+  return sw;
+}
+
+TEST(Session, EndToEndDelivery) {
+  rng r(1);
+  const chip_manufacturer maker(r, 384);
+  const software_editor editor(make_software(1000, 2));
+  const secure_processor proc(maker.provision_private_key());
+
+  insecure_channel ch;
+  const auto em = maker.publish_public_key(ch);
+  const software_package pkg = editor.deliver(em, ch, r);
+  const bytes installed = proc.receive(pkg);
+  EXPECT_EQ(installed, editor.plaintext_image());
+}
+
+TEST(Session, ChannelNeverCarriesSessionKeyInClear) {
+  rng r(3);
+  const chip_manufacturer maker(r, 384);
+  const software_editor editor(make_software(600, 4));
+  const secure_processor proc(maker.provision_private_key());
+
+  insecure_channel ch;
+  const auto em = maker.publish_public_key(ch);
+  const software_package pkg = editor.deliver(em, ch, r);
+  const bytes installed = proc.receive(pkg);
+  ASSERT_EQ(installed, editor.plaintext_image());
+
+  // The eavesdropper saw every message; neither K nor the plaintext
+  // software appears in any of them.
+  EXPECT_FALSE(channel_leaks(ch, proc.last_session_key()));
+  EXPECT_FALSE(channel_leaks(
+      ch, std::span<const u8>(editor.plaintext_image()).subspan(0, 35)));
+}
+
+TEST(Session, ChannelSeesExpectedMessages) {
+  rng r(5);
+  const chip_manufacturer maker(r, 384);
+  const software_editor editor(make_software(100, 6));
+  insecure_channel ch;
+  const auto em = maker.publish_public_key(ch);
+  (void)editor.deliver(em, ch, r);
+  ASSERT_EQ(ch.log().size(), 4u); // Em, wrapped K, IV, ciphered software
+  EXPECT_NE(ch.log()[0].label.find("Em"), std::string::npos);
+  EXPECT_NE(ch.log()[1].label.find("wrapped"), std::string::npos);
+}
+
+TEST(Session, WrongProcessorCannotDecrypt) {
+  rng r(7);
+  const chip_manufacturer maker_a(r, 384);
+  const chip_manufacturer maker_b(r, 384);
+  const software_editor editor(make_software(200, 8));
+  const secure_processor wrong(maker_b.provision_private_key());
+
+  insecure_channel ch;
+  const auto em_a = maker_a.publish_public_key(ch);
+  const software_package pkg = editor.deliver(em_a, ch, r);
+  // Unwrap either throws on padding or yields a wrong key that fails the
+  // PKCS#7 check on the image.
+  EXPECT_THROW((void)wrong.receive(pkg), std::invalid_argument);
+}
+
+TEST(Session, TamperedPackageDetected) {
+  rng r(9);
+  const chip_manufacturer maker(r, 384);
+  const software_editor editor(make_software(300, 10));
+  const secure_processor proc(maker.provision_private_key());
+
+  insecure_channel ch;
+  const auto em = maker.publish_public_key(ch);
+  software_package pkg = editor.deliver(em, ch, r);
+  pkg.ciphered_image[50] ^= 0x01;
+  try {
+    const bytes out = proc.receive(pkg);
+    EXPECT_NE(out, editor.plaintext_image()); // garbled at minimum
+  } catch (const std::invalid_argument&) {
+    SUCCEED(); // padding check fired
+  }
+}
+
+TEST(Session, FreshSessionKeysPerDelivery) {
+  rng r(11);
+  const chip_manufacturer maker(r, 384);
+  const software_editor editor(make_software(100, 12));
+  const secure_processor proc(maker.provision_private_key());
+
+  insecure_channel ch;
+  const auto em = maker.publish_public_key(ch);
+  (void)proc.receive(editor.deliver(em, ch, r));
+  const bytes k1 = proc.last_session_key();
+  (void)proc.receive(editor.deliver(em, ch, r));
+  const bytes k2 = proc.last_session_key();
+  EXPECT_NE(k1, k2);
+}
+
+} // namespace
+} // namespace buscrypt::keymgmt

@@ -1,0 +1,211 @@
+// Cross-cutting property tests: the stream-cipher family contract, DES
+// weak keys, hardware timing-model invariants, and workload determinism.
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "compress/entropy.hpp"
+#include "crypto/des.hpp"
+#include "crypto/lfsr.hpp"
+#include "crypto/rc4.hpp"
+#include "edu/timing.hpp"
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+namespace buscrypt {
+namespace {
+
+using crypto::stream_cipher;
+
+// --- every stream cipher obeys the same contract ----------------------------
+
+class StreamFamily : public ::testing::TestWithParam<int> {
+ protected:
+  static std::unique_ptr<stream_cipher> make(int which, std::span<const u8> key,
+                                             std::span<const u8> iv) {
+    switch (which) {
+      case 0: {
+        auto c = std::make_unique<crypto::rc4>(key);
+        c->reseed(key, iv);
+        return c;
+      }
+      case 1: return std::make_unique<crypto::galois_lfsr>(key, iv);
+      default: return std::make_unique<crypto::trivium>(key.subspan(0, 10), iv.subspan(0, 10));
+    }
+  }
+};
+
+TEST_P(StreamFamily, SameSeedSameStream) {
+  rng r(1);
+  const bytes key = r.random_bytes(16);
+  const bytes iv = r.random_bytes(16);
+  auto a = make(GetParam(), key, iv);
+  auto b = make(GetParam(), key, iv);
+  bytes ka(256), kb(256);
+  a->keystream(ka);
+  b->keystream(kb);
+  EXPECT_EQ(ka, kb);
+}
+
+TEST_P(StreamFamily, ChunkingInvariance) {
+  // Drawing 256 bytes in one call equals drawing them in ragged pieces.
+  rng r(2);
+  const bytes key = r.random_bytes(16);
+  const bytes iv = r.random_bytes(16);
+  auto a = make(GetParam(), key, iv);
+  auto b = make(GetParam(), key, iv);
+
+  bytes whole(256);
+  a->keystream(whole);
+
+  bytes pieces(256);
+  std::size_t off = 0;
+  while (off < pieces.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + r.below(31), pieces.size() - off);
+    b->keystream(std::span<u8>(pieces).subspan(off, n));
+    off += n;
+  }
+  EXPECT_EQ(pieces, whole);
+}
+
+TEST_P(StreamFamily, ApplyIsInvolution) {
+  rng r(3);
+  const bytes key = r.random_bytes(16);
+  const bytes iv = r.random_bytes(16);
+  bytes msg = r.random_bytes(333);
+  const bytes orig = msg;
+  make(GetParam(), key, iv)->apply(msg);
+  EXPECT_NE(msg, orig);
+  make(GetParam(), key, iv)->apply(msg);
+  EXPECT_EQ(msg, orig);
+}
+
+TEST_P(StreamFamily, KeySensitivity) {
+  rng r(4);
+  bytes key = r.random_bytes(16);
+  const bytes iv = r.random_bytes(16);
+  bytes ka(128), kb(128);
+  make(GetParam(), key, iv)->keystream(ka);
+  key[5] ^= 0x04;
+  make(GetParam(), key, iv)->keystream(kb);
+  EXPECT_NE(ka, kb);
+}
+
+TEST_P(StreamFamily, KeystreamEntropyHigh) {
+  rng r(5);
+  const bytes key = r.random_bytes(16);
+  const bytes iv = r.random_bytes(16);
+  bytes ks(1 << 15);
+  make(GetParam(), key, iv)->keystream(ks);
+  EXPECT_GT(compress::shannon_entropy(ks), 7.8);
+}
+
+std::string stream_name(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "RC4";
+    case 1: return "LFSR64";
+    default: return "Trivium";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStreams, StreamFamily, ::testing::Values(0, 1, 2),
+                         stream_name);
+
+// --- DES weak keys -----------------------------------------------------------
+
+TEST(DesWeakKeys, EncryptionIsSelfInverse) {
+  // For the four weak keys, the subkey schedule is palindromic, so
+  // E_k(E_k(x)) == x. A classic structural check of the key schedule.
+  const char* weak_keys[] = {
+      "0101010101010101",
+      "fefefefefefefefe",
+      "e0e0e0e0f1f1f1f1",
+      "1f1f1f1f0e0e0e0e",
+  };
+  rng r(6);
+  for (const char* wk : weak_keys) {
+    const crypto::des c(from_hex(wk));
+    for (int i = 0; i < 8; ++i) {
+      const bytes x = r.random_bytes(8);
+      bytes once(8), twice(8);
+      c.encrypt_block(x, once);
+      c.encrypt_block(once, twice);
+      EXPECT_EQ(twice, x) << wk;
+    }
+  }
+}
+
+TEST(DesWeakKeys, NormalKeysAreNotSelfInverse) {
+  rng r(7);
+  const crypto::des c(r.random_bytes(8));
+  const bytes x = r.random_bytes(8);
+  bytes once(8), twice(8);
+  c.encrypt_block(x, once);
+  c.encrypt_block(once, twice);
+  EXPECT_NE(twice, x);
+}
+
+// --- pipeline timing model -----------------------------------------------------
+
+TEST(PipelineModel, BlockCountArithmetic) {
+  const auto m = edu::aes_pipelined();
+  EXPECT_EQ(m.blocks_for(0), 0u);
+  EXPECT_EQ(m.blocks_for(1), 1u);
+  EXPECT_EQ(m.blocks_for(16), 1u);
+  EXPECT_EQ(m.blocks_for(17), 2u);
+  EXPECT_EQ(m.blocks_for(64), 4u);
+}
+
+TEST(PipelineModel, ParallelTimeMonotonicAndPipelined) {
+  const auto m = edu::aes_pipelined();
+  EXPECT_EQ(m.time_parallel(0), 0u);
+  EXPECT_EQ(m.time_parallel(1), m.latency);
+  for (std::size_t n = 2; n < 20; ++n) {
+    EXPECT_EQ(m.time_parallel(n), m.latency + (n - 1) * m.interval);
+    EXPECT_GT(m.time_parallel(n), m.time_parallel(n - 1));
+  }
+}
+
+TEST(PipelineModel, ChainedNeverFasterThanParallel) {
+  for (const auto& m : {edu::aes_pipelined(), edu::aes_iterative(),
+                        edu::tdes_pipelined(), edu::des_iterative()}) {
+    for (std::size_t n = 1; n < 16; ++n)
+      EXPECT_GE(m.time_chained(n), m.time_parallel(n)) << m.name << " n=" << n;
+  }
+}
+
+TEST(PipelineModel, IterativeCoreHasNoPipelining) {
+  const auto m = edu::aes_iterative();
+  EXPECT_EQ(m.interval, m.latency);
+  EXPECT_EQ(m.time_parallel(4), 4 * m.latency);
+}
+
+TEST(PipelineModel, SurveyFiguresPreserved) {
+  // The numbers quoted verbatim by the paper must stay pinned.
+  EXPECT_EQ(edu::aes_pipelined().latency, 14u);   // XOM: "14 latency cycles"
+  EXPECT_EQ(edu::aes_pipelined().interval, 1u);   // "one ... per clock cycle"
+  EXPECT_EQ(edu::aes_pipelined().gates, 300'000u); // AEGIS: "300,000 gates"
+}
+
+// --- workload generators are deterministic functions of their seed ------------
+
+TEST(WorkloadDeterminism, SameSeedSameTrace) {
+  const auto a = sim::make_jumpy_code(5'000, 1 << 16, 0.2, 99);
+  const auto b = sim::make_jumpy_code(5'000, 1 << 16, 0.2, 99);
+  ASSERT_EQ(a.accesses.size(), b.accesses.size());
+  for (std::size_t i = 0; i < a.accesses.size(); ++i) {
+    EXPECT_EQ(a.accesses[i].addr, b.accesses[i].addr);
+    EXPECT_EQ(a.accesses[i].kind, b.accesses[i].kind);
+  }
+  const auto c = sim::make_jumpy_code(5'000, 1 << 16, 0.2, 100);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.accesses.size() && i < c.accesses.size(); ++i)
+    if (a.accesses[i].addr != c.accesses[i].addr) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace buscrypt

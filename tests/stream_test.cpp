@@ -1,0 +1,191 @@
+// Stream cipher tests: RC4 against RFC 6229 keystream vectors, LFSR and
+// Trivium structural/property tests.
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "compress/entropy.hpp"
+#include "crypto/lfsr.hpp"
+#include "crypto/rc4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace buscrypt::crypto {
+namespace {
+
+bytes H(std::string_view s) { return from_hex(s); }
+
+TEST(Rc4, Rfc6229KeystreamKey40Bit) {
+  // RFC 6229, key 0x0102030405: first 16 keystream bytes.
+  rc4 c(H("0102030405"));
+  bytes ks(16);
+  c.keystream(ks);
+  EXPECT_EQ(to_hex(ks), "b2396305f03dc027ccc3524a0a1118a8");
+}
+
+TEST(Rc4, Rfc6229KeystreamKey128Bit) {
+  rc4 c(H("0102030405060708090a0b0c0d0e0f10"));
+  bytes ks(16);
+  c.keystream(ks);
+  EXPECT_EQ(to_hex(ks), "9ac7cc9a609d1ef7b2932899cde41b97");
+}
+
+TEST(Rc4, EncryptDecryptSymmetry) {
+  rng r(1);
+  const bytes key = r.random_bytes(16);
+  bytes msg = r.random_bytes(1000);
+  const bytes orig = msg;
+
+  rc4 enc(key);
+  enc.apply(msg);
+  EXPECT_NE(msg, orig);
+
+  rc4 dec(key);
+  dec.apply(msg);
+  EXPECT_EQ(msg, orig);
+}
+
+TEST(Rc4, ReseedRestartsStream) {
+  rc4 c(H("0102030405"));
+  bytes a(8), b(8);
+  c.keystream(a);
+  c.reseed(H("0102030405"), {});
+  c.keystream(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rc4, IvChangesStream) {
+  rc4 a(H("0102030405"));
+  rc4 b(H("0102030405"));
+  b.reseed(H("0102030405"), H("ff"));
+  bytes ka(16), kb(16);
+  a.keystream(ka);
+  b.keystream(kb);
+  EXPECT_NE(ka, kb);
+}
+
+TEST(Rc4, RejectsEmptyAndOversizedKeys) {
+  EXPECT_THROW(rc4(bytes{}), std::invalid_argument);
+  EXPECT_THROW(rc4(bytes(257, 1)), std::invalid_argument);
+}
+
+TEST(Rc4, KeystreamLooksRandom) {
+  rc4 c(H("deadbeefcafebabe"));
+  bytes ks(1 << 16);
+  c.keystream(ks);
+  EXPECT_GT(compress::shannon_entropy(ks), 7.9);
+}
+
+TEST(GaloisLfsr, DeterministicAndKeyed) {
+  rng r(2);
+  const bytes key = r.random_bytes(8);
+  const bytes iv = r.random_bytes(8);
+  galois_lfsr a(key, iv), b(key, iv);
+  bytes ka(64), kb(64);
+  a.keystream(ka);
+  b.keystream(kb);
+  EXPECT_EQ(ka, kb);
+
+  galois_lfsr c(key, r.random_bytes(8));
+  bytes kc(64);
+  c.keystream(kc);
+  EXPECT_NE(ka, kc);
+}
+
+TEST(GaloisLfsr, ZeroSeedRemapped) {
+  // An all-zero key/iv must not freeze the register at zero.
+  const bytes zero(8, 0);
+  galois_lfsr g(zero, zero);
+  bytes ks(32);
+  g.keystream(ks);
+  bool all_zero = true;
+  for (u8 b : ks)
+    if (b != 0) all_zero = false;
+  EXPECT_FALSE(all_zero);
+}
+
+TEST(GaloisLfsr, LongPeriod) {
+  // Maximal-length 64-bit taps: the state must not cycle within 1M steps.
+  const bytes key = {1, 2, 3, 4, 5, 6, 7, 8};
+  galois_lfsr g(key, {});
+  const u64 start = g.state();
+  bytes ks(1 << 17); // 2^20 bit steps
+  g.keystream(ks);
+  EXPECT_NE(g.state(), start);
+}
+
+TEST(GaloisLfsr, StateIsLinearlyRecoverable) {
+  // The documented weakness: 64 output bits determine the state. Verify
+  // the produced byte stream equals a re-simulation from the exposed state
+  // (i.e. an attacker cloning the register predicts all future output).
+  const bytes key = {9, 9, 9, 9, 9, 9, 9, 9};
+  galois_lfsr g(key, {});
+  bytes skip(8);
+  g.keystream(skip);
+  const u64 captured = g.state();
+
+  bytes future(32);
+  g.keystream(future);
+
+  // Clone: rebuild from the captured state by constructing a new LFSR and
+  // forcing its state via keystream-of-zero trick (reseed with key bytes
+  // equal to the captured state little-endian).
+  bytes state_key(8);
+  for (int i = 0; i < 8; ++i)
+    state_key[static_cast<std::size_t>(i)] = static_cast<u8>(captured >> (8 * i));
+  galois_lfsr clone(state_key, {});
+  bytes predicted(32);
+  clone.keystream(predicted);
+  EXPECT_EQ(predicted, future);
+}
+
+TEST(Trivium, DeterministicAndKeySensitive) {
+  const bytes key = H("0f62b5085bae0154a7fa");
+  const bytes iv = H("288ff65dc42b92f960c7");
+  trivium a(key, iv), b(key, iv);
+  bytes ka(64), kb(64);
+  a.keystream(ka);
+  b.keystream(kb);
+  EXPECT_EQ(ka, kb);
+
+  bytes key2 = key;
+  key2[0] ^= 1;
+  trivium c(key2, iv);
+  bytes kc(64);
+  c.keystream(kc);
+  EXPECT_NE(ka, kc);
+}
+
+TEST(Trivium, IvSensitive) {
+  const bytes key = H("00000000000000000000");
+  trivium a(key, H("00000000000000000000"));
+  trivium b(key, H("00000000000000000001"));
+  bytes ka(64), kb(64);
+  a.keystream(ka);
+  b.keystream(kb);
+  EXPECT_NE(ka, kb);
+}
+
+TEST(Trivium, KeystreamLooksRandom) {
+  trivium t(H("0123456789abcdef0123"), H("fedcba98765432100123"));
+  bytes ks(1 << 15);
+  t.keystream(ks);
+  EXPECT_GT(compress::shannon_entropy(ks), 7.9);
+  EXPECT_LT(std::abs(compress::serial_correlation(ks)), 0.05);
+}
+
+TEST(Trivium, ApplyIsInvolutive) {
+  const bytes key = H("aabbccddeeff00112233");
+  const bytes iv = H("99887766554433221100");
+  rng r(3);
+  bytes msg = r.random_bytes(500);
+  const bytes orig = msg;
+  trivium enc(key, iv);
+  enc.apply(msg);
+  EXPECT_NE(msg, orig);
+  trivium dec(key, iv);
+  dec.apply(msg);
+  EXPECT_EQ(msg, orig);
+}
+
+} // namespace
+} // namespace buscrypt::crypto
