@@ -1,0 +1,49 @@
+#include "edu/engine_edu.hpp"
+
+namespace buscrypt::edu {
+
+engine_edu::engine_edu(sim::memory_port& lower, std::span<const u8> key,
+                       engine_edu_config cfg)
+    : edu(lower), cfg_(std::move(cfg)),
+      slots_(engine::backend_registry::builtin(), cfg_.num_slots),
+      engine_(lower, slots_, cfg_.engine),
+      name_("Keyslot-" + cfg_.backend) {
+  const auto ctx = engine_.create_context(
+      {cfg_.backend, bytes(key.begin(), key.end()), cfg_.data_unit_size});
+  // Default context covers the full address space; further map_region()
+  // calls on engine() override it (later mappings win).
+  engine_.map_region(0, static_cast<std::size_t>(-1), ctx);
+}
+
+cycles engine_edu::read(addr_t addr, std::span<u8> out) {
+  const cycles t = engine_.read(addr, out);
+  sync_stats();
+  return t;
+}
+
+cycles engine_edu::write(addr_t addr, std::span<const u8> in) {
+  const cycles t = engine_.write(addr, in);
+  sync_stats();
+  return t;
+}
+
+void engine_edu::install_image(addr_t base, std::span<const u8> plain) {
+  engine_.install(base, plain);
+  sync_stats();
+}
+
+void engine_edu::read_image(addr_t base, std::span<u8> plain_out) {
+  engine_.read_plain(base, plain_out);
+  sync_stats();
+}
+
+void engine_edu::sync_stats() noexcept {
+  const engine::engine_stats& es = engine_.stats();
+  stats_.reads = es.reads;
+  stats_.writes = es.writes;
+  stats_.cipher_blocks = es.units;
+  stats_.crypto_cycles = es.crypto_cycles;
+  stats_.rmw_ops = es.rmw_ops;
+}
+
+} // namespace buscrypt::edu

@@ -10,6 +10,7 @@
 #include "edu/compress_edu.hpp"
 #include "edu/dallas_edu.hpp"
 #include "edu/dma_edu.hpp"
+#include "edu/engine_edu.hpp"
 #include "edu/gi_edu.hpp"
 #include "edu/gilmont_edu.hpp"
 #include "edu/plain_edu.hpp"
@@ -37,6 +38,7 @@ std::string_view engine_name(engine_kind kind) {
     case engine_kind::secure_dma: return "SecureDMA-page";
     case engine_kind::cacheside_otp: return "CacheSide-OTP";
     case engine_kind::compress_otp: return "Compress+OTP";
+    case engine_kind::inline_keyslot: return "Keyslot-aes-ctr";
   }
   return "?";
 }
@@ -50,7 +52,7 @@ const std::vector<engine_kind>& all_engines() {
       engine_kind::gilmont_3des, engine_kind::gi_3des_cbc,
       engine_kind::stream_otp,   engine_kind::stream_serial,
       engine_kind::secure_dma,   engine_kind::cacheside_otp,
-      engine_kind::compress_otp,
+      engine_kind::compress_otp, engine_kind::inline_keyslot,
   };
   return kinds;
 }
@@ -143,6 +145,12 @@ secure_soc::secure_soc(engine_kind kind, const soc_config& cfg)
       // one compressed group (fewer bus bytes than the raw line).
       ccfg.group_bytes = cfg.l1.line_size;
       edu_ = std::make_unique<compress_edu>(ext_, *prf_, ccfg);
+      break;
+    }
+    case engine_kind::inline_keyslot: {
+      engine_edu_config kcfg;
+      kcfg.data_unit_size = cfg.l1.line_size;
+      edu_ = std::make_unique<engine_edu>(ext_, aes_key_, std::move(kcfg));
       break;
     }
     case engine_kind::cacheside_otp:

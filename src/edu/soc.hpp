@@ -35,6 +35,7 @@ enum class engine_kind {
   secure_dma,      ///< VLSI page-by-page secure DMA (Fig. 4)
   cacheside_otp,   ///< EDU between CPU and cache (Fig. 7b)
   compress_otp,    ///< compression + encryption (Fig. 8)
+  inline_keyslot,  ///< unified keyslot engine (engine/), AES-CTR default
 };
 
 /// Printable engine name (matches each EDU's name()).

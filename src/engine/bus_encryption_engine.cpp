@@ -1,0 +1,236 @@
+#include "engine/bus_encryption_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace buscrypt::engine {
+
+bus_encryption_engine::bus_encryption_engine(sim::memory_port& lower,
+                                             keyslot_manager& slots, engine_config cfg)
+    : lower_(&lower), slots_(&slots), cfg_(cfg) {}
+
+bus_encryption_engine::context_id bus_encryption_engine::create_context(keyslot_key k) {
+  const cipher_backend& backend = slots_->registry().at(k.backend);
+  if (!backend.key_len_ok(k.key.size()))
+    throw std::invalid_argument("create_context: bad key length for backend " + k.backend);
+  // Granule check needs a keyed instance's view; all our backends expose a
+  // fixed granule independent of the key, so probe with the key itself.
+  const auto probe = backend.make_keyed(k.key);
+  if (k.data_unit_size == 0 || k.data_unit_size % probe->granule() != 0)
+    throw std::invalid_argument("create_context: data_unit_size not a multiple of the "
+                                "cipher granule for backend " + k.backend);
+  if (k.data_unit_size > backend.max_data_unit_size())
+    throw std::invalid_argument("create_context: data_unit_size exceeds the IV-safe "
+                                "bound for backend " + k.backend +
+                                " (CTR keystream would repeat across units)");
+  contexts_.push_back(std::move(k));
+  context_live_.push_back(true);
+  return contexts_.size() - 1;
+}
+
+void bus_encryption_engine::destroy_context(context_id ctx) {
+  if (ctx >= contexts_.size() || !context_live_[ctx])
+    throw std::out_of_range("destroy_context: bad context id");
+  context_live_[ctx] = false;
+  std::erase_if(regions_, [ctx](const region& r) { return r.ctx == ctx; });
+  (void)slots_->evict(contexts_[ctx]); // best-effort: may be absent or busy
+}
+
+void bus_encryption_engine::map_region(addr_t base, std::size_t len, context_id ctx) {
+  if (ctx != no_context && (ctx >= contexts_.size() || !context_live_[ctx]))
+    throw std::out_of_range("map_region: bad context id");
+  if (ctx != no_context && base % contexts_[ctx].data_unit_size != 0)
+    throw std::invalid_argument("map_region: base not data-unit aligned");
+  regions_.push_back({base, len, ctx});
+}
+
+bus_encryption_engine::context_id
+bus_encryption_engine::context_at(addr_t addr) const noexcept {
+  // Later mappings win: scan newest-first.
+  for (auto it = regions_.rbegin(); it != regions_.rend(); ++it)
+    if (addr >= it->base && addr - it->base < it->len) return it->ctx;
+  return no_context;
+}
+
+std::pair<bus_encryption_engine::context_id, std::size_t>
+bus_encryption_engine::span_at(addr_t addr, std::size_t len) const noexcept {
+  // Winning region = newest one containing addr (its index bounds which
+  // later mappings can still override parts of the span).
+  std::size_t win = regions_.size();
+  for (std::size_t i = regions_.size(); i-- > 0;) {
+    const region& r = regions_[i];
+    if (addr >= r.base && addr - r.base < r.len) {
+      win = i;
+      break;
+    }
+  }
+  addr_t end = addr + len;
+  context_id ctx = no_context;
+  if (win != regions_.size()) {
+    ctx = regions_[win].ctx;
+    end = std::min<addr_t>(end, regions_[win].base + regions_[win].len);
+  }
+  // Any newer region starting inside (addr, end) changes the context there.
+  for (std::size_t j = (win == regions_.size() ? 0 : win + 1); j < regions_.size(); ++j)
+    if (regions_[j].base > addr && regions_[j].base < end) end = regions_[j].base;
+  return {ctx, static_cast<std::size_t>(end - addr)};
+}
+
+const keyslot_key& bus_encryption_engine::context_key(context_id ctx) const {
+  if (ctx >= contexts_.size() || !context_live_[ctx])
+    throw std::out_of_range("context_key: bad context id");
+  return contexts_[ctx];
+}
+
+cycles bus_encryption_engine::transform_units(keyed_cipher& kc, const keyslot_key& k,
+                                              addr_t unit_base, std::span<u8> buf,
+                                              bool encrypt, bool fallback, bool charge) {
+  const std::size_t du = k.data_unit_size;
+  cycles t = 0;
+  for (std::size_t off = 0; off < buf.size(); off += du) {
+    const std::size_t n = std::min(du, buf.size() - off);
+    const u64 dun = (unit_base + off) / du;
+    std::span<u8> unit = buf.subspan(off, n);
+    if (encrypt) kc.encrypt_unit(dun, unit, unit);
+    else kc.decrypt_unit(dun, unit, unit);
+    if (charge) {
+      cycles c = kc.unit_cost(n, encrypt);
+      if (fallback) c *= cfg_.fallback_penalty;
+      t += c;
+      stats_.crypto_cycles += c;
+      ++stats_.units;
+    }
+  }
+  return t;
+}
+
+cycles bus_encryption_engine::crypt_span(context_id ctx, addr_t addr, std::span<u8> data,
+                                         bool is_write, bool charge_time) {
+  const keyslot_key& k = contexts_[ctx];
+  const std::size_t du = k.data_unit_size;
+  const addr_t a0 = addr / du * du;                      // covering range, unit aligned
+  const addr_t a1 = (addr + data.size() + du - 1) / du * du;
+  const bool head_partial = addr != a0;
+  const bool tail_partial = addr + data.size() != a1;
+
+  // Resolve the context to a keyslot; fall back to a software one-shot
+  // cipher when the pool is pinned out.
+  const u64 programs_before = slots_->stats().programs;
+  slot_guard guard(*slots_, k);
+  std::unique_ptr<keyed_cipher> fallback_cipher;
+  keyed_cipher* kc = nullptr;
+  bool fallback = false;
+  cycles t = 0;
+  if (guard.valid()) {
+    kc = &guard.keyed();
+    if (charge_time && slots_->stats().programs != programs_before) {
+      t += cfg_.slot_program_cycles;
+      stats_.crypto_cycles += cfg_.slot_program_cycles;
+    }
+  } else {
+    if (!cfg_.allow_fallback)
+      throw std::runtime_error("bus_encryption_engine: keyslot pool exhausted and "
+                               "fallback disabled");
+    fallback_cipher = slots_->registry().at(k.backend).make_keyed(k.key);
+    kc = fallback_cipher.get();
+    fallback = true;
+    ++stats_.fallbacks;
+  }
+
+  bytes cover(static_cast<std::size_t>(a1 - a0));
+
+  if (!is_write) {
+    t += lower_->read(a0, cover);
+    t += transform_units(*kc, k, a0, cover, /*encrypt=*/false, fallback, charge_time);
+    std::copy_n(cover.begin() + static_cast<std::ptrdiff_t>(addr - a0), data.size(),
+                data.begin());
+    return t;
+  }
+
+  // Write path. Partial edge units trigger the paper's five-step penalty:
+  // read, decipher, modify, re-cipher, write back.
+  if (head_partial || tail_partial) {
+    if (head_partial) {
+      std::span<u8> head(cover.data(), du);
+      t += lower_->read(a0, head);
+      t += transform_units(*kc, k, a0, head, /*encrypt=*/false, fallback, charge_time);
+      ++stats_.rmw_ops;
+    }
+    if (tail_partial && (a1 - a0 > du || !head_partial)) {
+      std::span<u8> tail(cover.data() + cover.size() - du, du);
+      t += lower_->read(a1 - du, tail);
+      t += transform_units(*kc, k, a1 - du, tail, /*encrypt=*/false, fallback, charge_time);
+      ++stats_.rmw_ops; // guard above ensures this unit was not the head RMW
+    }
+  }
+  std::copy(data.begin(), data.end(),
+            cover.begin() + static_cast<std::ptrdiff_t>(addr - a0));
+  t += transform_units(*kc, k, a0, cover, /*encrypt=*/true, fallback, charge_time);
+  t += lower_->write(a0, cover);
+  return t;
+}
+
+cycles bus_encryption_engine::read(addr_t addr, std::span<u8> out) {
+  ++stats_.reads;
+  cycles t = 0;
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const auto [ctx, n] = span_at(addr + off, out.size() - off);
+    std::span<u8> part = out.subspan(off, n);
+    if (ctx == no_context) {
+      t += lower_->read(addr + off, part);
+      ++stats_.passthrough;
+    } else {
+      t += crypt_span(ctx, addr + off, part, /*is_write=*/false, true);
+    }
+    off += n;
+  }
+  return t;
+}
+
+cycles bus_encryption_engine::write(addr_t addr, std::span<const u8> in) {
+  ++stats_.writes;
+  cycles t = 0;
+  std::size_t off = 0;
+  while (off < in.size()) {
+    const auto [ctx, n] = span_at(addr + off, in.size() - off);
+    if (ctx == no_context) {
+      t += lower_->write(addr + off, in.subspan(off, n));
+      ++stats_.passthrough;
+    } else {
+      bytes tmp(in.begin() + static_cast<std::ptrdiff_t>(off),
+                in.begin() + static_cast<std::ptrdiff_t>(off + n));
+      t += crypt_span(ctx, addr + off, tmp, /*is_write=*/true, true);
+    }
+    off += n;
+  }
+  return t;
+}
+
+void bus_encryption_engine::install(addr_t base, std::span<const u8> plain) {
+  std::size_t off = 0;
+  while (off < plain.size()) {
+    const auto [ctx, n] = span_at(base + off, plain.size() - off);
+    if (ctx == no_context) {
+      (void)lower_->write(base + off, plain.subspan(off, n));
+    } else {
+      bytes tmp(plain.begin() + static_cast<std::ptrdiff_t>(off),
+                plain.begin() + static_cast<std::ptrdiff_t>(off + n));
+      (void)crypt_span(ctx, base + off, tmp, /*is_write=*/true, false);
+    }
+    off += n;
+  }
+}
+
+void bus_encryption_engine::read_plain(addr_t base, std::span<u8> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const auto [ctx, n] = span_at(base + off, out.size() - off);
+    std::span<u8> part = out.subspan(off, n);
+    if (ctx == no_context) (void)lower_->read(base + off, part);
+    else (void)crypt_span(ctx, base + off, part, /*is_write=*/false, false);
+    off += n;
+  }
+}
+
+} // namespace buscrypt::engine

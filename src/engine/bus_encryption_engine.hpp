@@ -1,0 +1,121 @@
+#pragma once
+/// \file bus_encryption_engine.hpp
+/// The unified bus-encryption engine: an inline crypto stage on the
+/// processor-memory path, parameterized by keyslots instead of hard-wired
+/// to one cipher. It generalises the survey's per-design EDUs (Fig. 2-8)
+/// the way the Linux inline-encryption framework generalises per-driver
+/// crypto: upper layers create an *encryption context* (key + backend +
+/// data-unit size), the context resolves to a keyslot per request, and the
+/// engine transforms whole data units addressed by their data-unit number.
+///
+/// Topology (survey Fig. 2c): cache -> [this engine] -> bus/DRAM, so
+/// everything on the external bus — and every probe — sees ciphertext.
+/// Multiple address regions may be mapped to different contexts (secure
+/// kernel vs application vs DMA buffer), which is what a small slot pool
+/// with LRU reuse models.
+
+#include "engine/keyslot_manager.hpp"
+#include "sim/memory_port.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace buscrypt::engine {
+
+struct engine_config {
+  /// Cycles to program key material into a hardware slot (charged on each
+  /// slot miss; the warm-slot hit path is free, which is the point of the
+  /// pool).
+  cycles slot_program_cycles = 40;
+  /// When no slot is free, transform with a software one-shot cipher
+  /// instead of failing (the blk-crypto-fallback analogue). Disabling it
+  /// makes a pinned-out pool throw, which the tests exercise.
+  bool allow_fallback = true;
+  /// Cycle multiplier for the fallback path (software is slower than the
+  /// inline hardware datapath).
+  cycles fallback_penalty = 4;
+};
+
+/// Per-engine counters.
+struct engine_stats {
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 units = 0;          ///< data units transformed
+  u64 rmw_ops = 0;        ///< partial-unit writes needing read-modify-write
+  u64 fallbacks = 0;      ///< requests served by the software fallback
+  u64 passthrough = 0;    ///< requests to unmapped (unprotected) regions
+  cycles crypto_cycles = 0;
+};
+
+/// Inline encryption stage between the cache level and external memory.
+class bus_encryption_engine final : public sim::memory_port {
+ public:
+  using context_id = std::size_t;
+  static constexpr context_id no_context = static_cast<context_id>(-1);
+
+  /// \param lower the external path (bus + DRAM); referenced, not owned.
+  /// \param slots shared keyslot pool; referenced, not owned.
+  bus_encryption_engine(sim::memory_port& lower, keyslot_manager& slots,
+                        engine_config cfg = {});
+
+  /// Register an encryption context. Validates the backend name, the key
+  /// length, and that the data-unit size is a positive multiple of the
+  /// backend granule. The key schedule is not expanded until first use.
+  [[nodiscard]] context_id create_context(keyslot_key k);
+
+  /// Drop a context and evict its key from the slot pool if idle.
+  void destroy_context(context_id ctx);
+
+  /// Protect [base, base+len) with \p ctx. Later mappings win on overlap.
+  /// Requests to unmapped addresses pass through in plaintext.
+  void map_region(addr_t base, std::size_t len, context_id ctx);
+
+  /// The context protecting \p addr, or no_context.
+  [[nodiscard]] context_id context_at(addr_t addr) const noexcept;
+
+  /// The context at \p addr and the length of the longest prefix of
+  /// [addr, addr+len) it uniformly covers. One pass over the region list.
+  [[nodiscard]] std::pair<context_id, std::size_t> span_at(addr_t addr,
+                                                           std::size_t len) const noexcept;
+
+  // --- memory_port: the timed, functional datapath -------------------------
+  [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
+  [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  // --- offline paths (no simulated time) -----------------------------------
+  /// Install a plaintext image through the encrypt path ("memory content
+  /// ciphering can be done offline", Section 2.1).
+  void install(addr_t base, std::span<const u8> plain);
+  /// Plaintext view through the decrypt path (verification hook).
+  void read_plain(addr_t base, std::span<u8> out);
+
+  [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] keyslot_manager& slots() noexcept { return *slots_; }
+  [[nodiscard]] const keyslot_key& context_key(context_id ctx) const;
+
+ private:
+  struct region {
+    addr_t base = 0;
+    std::size_t len = 0;
+    context_id ctx = no_context;
+  };
+
+  /// One mapped-region segment of a request, expressed in covering units.
+  [[nodiscard]] cycles crypt_span(context_id ctx, addr_t addr, std::span<u8> data,
+                                  bool is_write, bool charge_time);
+
+  [[nodiscard]] cycles transform_units(keyed_cipher& kc, const keyslot_key& k,
+                                       addr_t unit_base, std::span<u8> buf,
+                                       bool encrypt, bool fallback, bool charge);
+
+  sim::memory_port* lower_;
+  keyslot_manager* slots_;
+  engine_config cfg_;
+  std::vector<keyslot_key> contexts_;
+  std::vector<bool> context_live_;
+  std::vector<region> regions_;
+  engine_stats stats_;
+};
+
+} // namespace buscrypt::engine

@@ -1,0 +1,105 @@
+#include "engine/keyslot_manager.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace buscrypt::engine {
+
+keyslot_manager::keyslot_manager(const backend_registry& registry, unsigned num_slots)
+    : registry_(&registry) {
+  if (num_slots == 0)
+    throw std::invalid_argument("keyslot_manager: need at least one slot");
+  slots_.resize(num_slots);
+}
+
+int keyslot_manager::acquire(const keyslot_key& k) {
+  ++tick_;
+
+  // Hit: the key is already programmed somewhere.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].key && *slots_[i].key == k) {
+      ++slots_[i].refcount;
+      slots_[i].last_use = tick_;
+      ++stats_.hits;
+      return static_cast<int>(i);
+    }
+  }
+
+  // Miss: pick an empty slot, else the least-recently-used idle one.
+  int victim = no_slot;
+  u64 oldest = std::numeric_limits<u64>::max();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].refcount != 0) continue;
+    if (!slots_[i].key) { // empty slot beats any eviction
+      victim = static_cast<int>(i);
+      break;
+    }
+    if (slots_[i].last_use < oldest) {
+      oldest = slots_[i].last_use;
+      victim = static_cast<int>(i);
+    }
+  }
+  if (victim == no_slot) {
+    ++stats_.denials;
+    return no_slot;
+  }
+
+  slot& s = slots_[static_cast<std::size_t>(victim)];
+  if (s.key) ++stats_.evictions;
+
+  // Program the slot: resolve the backend and expand the key schedule.
+  const cipher_backend& backend = registry_->at(k.backend);
+  s.cipher = backend.make_keyed(k.key);
+  s.key = k;
+  s.refcount = 1;
+  s.last_use = tick_;
+  ++stats_.programs;
+  return victim;
+}
+
+void keyslot_manager::release(int slot_idx) {
+  if (slot_idx < 0 || static_cast<std::size_t>(slot_idx) >= slots_.size())
+    throw std::out_of_range("keyslot_manager::release: bad slot index");
+  slot& s = slots_[static_cast<std::size_t>(slot_idx)];
+  if (s.refcount == 0)
+    throw std::logic_error("keyslot_manager::release: slot not acquired");
+  --s.refcount;
+}
+
+bool keyslot_manager::evict(const keyslot_key& k) {
+  for (auto& s : slots_) {
+    if (s.key && *s.key == k) {
+      if (s.refcount != 0) return false;
+      s.key.reset();
+      s.cipher.reset();
+      ++stats_.evictions;
+      return true;
+    }
+  }
+  return false;
+}
+
+keyed_cipher& keyslot_manager::keyed(int slot_idx) {
+  if (slot_idx < 0 || static_cast<std::size_t>(slot_idx) >= slots_.size())
+    throw std::out_of_range("keyslot_manager::keyed: bad slot index");
+  slot& s = slots_[static_cast<std::size_t>(slot_idx)];
+  if (!s.cipher)
+    throw std::logic_error("keyslot_manager::keyed: slot not programmed");
+  return *s.cipher;
+}
+
+const keyslot_key* keyslot_manager::key_of(int slot_idx) const {
+  if (slot_idx < 0 || static_cast<std::size_t>(slot_idx) >= slots_.size())
+    return nullptr;
+  const slot& s = slots_[static_cast<std::size_t>(slot_idx)];
+  return s.key ? &*s.key : nullptr;
+}
+
+unsigned keyslot_manager::slots_in_use() const noexcept {
+  unsigned n = 0;
+  for (const auto& s : slots_)
+    if (s.refcount != 0) ++n;
+  return n;
+}
+
+} // namespace buscrypt::engine

@@ -1,0 +1,109 @@
+#pragma once
+/// \file keyslot_manager.hpp
+/// A fixed pool of programmable keyslots, after the Linux block-layer
+/// inline-encryption keyslot manager. Real bus-encryption hardware holds a
+/// small number of key registers; software programs (key, algorithm,
+/// data-unit size) tuples into them and requests reference a slot index.
+///
+/// Lifecycle per slot: EMPTY -> PROGRAMMED (idle) -> IN USE (refcounted)
+/// -> idle -> ... -> evicted (LRU, when another key needs the slot).
+/// A slot is only reprogrammed while idle; acquire() on a fully-pinned
+/// pool returns no_slot and the caller takes the fallback path.
+
+#include "common/types.hpp"
+#include "engine/cipher_backend.hpp"
+
+#include <optional>
+#include <string>
+
+namespace buscrypt::engine {
+
+/// Everything the hardware needs to program one slot. Equality is how the
+/// manager recognises an already-programmed key (a slot "hit").
+struct keyslot_key {
+  std::string backend;          ///< registry name, e.g. "aes-ctr"
+  bytes key;                    ///< raw key material
+  std::size_t data_unit_size = 32; ///< IV granule; DUN = addr / data_unit_size
+
+  bool operator==(const keyslot_key&) const = default;
+};
+
+/// Counters the benches and tests read.
+struct keyslot_stats {
+  u64 hits = 0;        ///< acquire() found the key already in a slot
+  u64 programs = 0;    ///< a slot was (re)programmed with key material
+  u64 evictions = 0;   ///< a programmed key was displaced (LRU or explicit)
+  u64 denials = 0;     ///< acquire() failed: every slot pinned by a user
+};
+
+class keyslot_manager {
+ public:
+  static constexpr int no_slot = -1;
+
+  /// \param registry backend resolver; referenced, not owned.
+  /// \param num_slots hardware slot count (>= 1).
+  keyslot_manager(const backend_registry& registry, unsigned num_slots);
+
+  /// Get a slot programmed with \p k, programming or LRU-evicting an idle
+  /// slot if needed. Increments the slot's refcount; pair with release().
+  /// Returns no_slot when every slot is pinned by in-flight users.
+  /// \throws std::out_of_range for an unknown backend,
+  ///         std::invalid_argument for a bad key length.
+  [[nodiscard]] int acquire(const keyslot_key& k);
+
+  /// Drop one reference. The key stays programmed (warm for reuse) until
+  /// eviction displaces it.
+  void release(int slot);
+
+  /// Explicitly evict \p k (e.g. session teardown). Returns false when the
+  /// key is currently in use or not present.
+  bool evict(const keyslot_key& k);
+
+  /// The keyed cipher programmed into \p slot. Slot must be programmed.
+  [[nodiscard]] keyed_cipher& keyed(int slot);
+
+  /// The key programmed into \p slot, if any.
+  [[nodiscard]] const keyslot_key* key_of(int slot) const;
+
+  [[nodiscard]] unsigned num_slots() const noexcept { return static_cast<unsigned>(slots_.size()); }
+  [[nodiscard]] unsigned slots_in_use() const noexcept;
+  [[nodiscard]] const keyslot_stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] const backend_registry& registry() const noexcept { return *registry_; }
+
+ private:
+  struct slot {
+    std::optional<keyslot_key> key;       ///< nullopt = EMPTY
+    std::unique_ptr<keyed_cipher> cipher; ///< programmed key schedule
+    unsigned refcount = 0;
+    u64 last_use = 0;                     ///< LRU tick
+  };
+
+  const backend_registry* registry_;
+  std::vector<slot> slots_;
+  keyslot_stats stats_;
+  u64 tick_ = 0;
+};
+
+/// RAII acquire/release. Evaluates to the slot index; valid() is false on
+/// the fallback path.
+class slot_guard {
+ public:
+  slot_guard(keyslot_manager& mgr, const keyslot_key& k)
+      : mgr_(&mgr), slot_(mgr.acquire(k)) {}
+  ~slot_guard() {
+    if (valid()) mgr_->release(slot_);
+  }
+  slot_guard(const slot_guard&) = delete;
+  slot_guard& operator=(const slot_guard&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return slot_ != keyslot_manager::no_slot; }
+  [[nodiscard]] int index() const noexcept { return slot_; }
+  [[nodiscard]] keyed_cipher& keyed() { return mgr_->keyed(slot_); }
+
+ private:
+  keyslot_manager* mgr_;
+  int slot_;
+};
+
+} // namespace buscrypt::engine

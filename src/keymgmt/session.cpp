@@ -44,6 +44,18 @@ bytes secure_processor::receive(const software_package& pkg) const {
   return crypto::pkcs7_unpad(padded, 16);
 }
 
+engine::bus_encryption_engine::context_id
+secure_processor::install_software(const software_package& pkg,
+                                   engine::bus_encryption_engine& eng, addr_t base,
+                                   std::string backend, std::size_t data_unit_size) const {
+  const bytes image = receive(pkg);
+  const auto ctx =
+      eng.create_context({std::move(backend), last_key_, data_unit_size});
+  eng.map_region(base, image.size(), ctx);
+  eng.install(base, image);
+  return ctx;
+}
+
 bool channel_leaks(const insecure_channel& ch, std::span<const u8> secret) {
   if (secret.empty()) return false;
   for (const channel_message& m : ch.log()) {

@@ -14,6 +14,7 @@
 
 #include "crypto/aes.hpp"
 #include "crypto/rsa.hpp"
+#include "engine/bus_encryption_engine.hpp"
 
 #include <string>
 #include <vector>
@@ -88,6 +89,23 @@ class secure_processor {
   /// Steps 5-6: unwrap K with Dm, decipher the software image.
   /// \throws std::invalid_argument if the package is malformed.
   [[nodiscard]] bytes receive(const software_package& pkg) const;
+
+  /// Step 6 realised in hardware: unwrap K, program it into the SoC's
+  /// bus-encryption engine as a fresh encryption context, map
+  /// [base, base+image) to that context, and install the deciphered image
+  /// into external memory through the engine's encrypt path. K goes
+  /// chip-to-keyslot without ever crossing the external bus in clear.
+  /// Returns the context id for later eviction (evict_session).
+  engine::bus_encryption_engine::context_id
+  install_software(const software_package& pkg, engine::bus_encryption_engine& eng,
+                   addr_t base, std::string backend = "aes-ctr",
+                   std::size_t data_unit_size = 32) const;
+
+  /// Session teardown: destroy the context and evict K from the slot pool.
+  static void evict_session(engine::bus_encryption_engine& eng,
+                            engine::bus_encryption_engine::context_id ctx) {
+    eng.destroy_context(ctx);
+  }
 
   /// The recovered session key from the last receive() (test hook; in
   /// silicon this never leaves the chip).
