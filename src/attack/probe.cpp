@@ -7,7 +7,8 @@ namespace buscrypt::attack {
 bytes reconstruct_from_probe(const sim::recording_probe& probe,
                              std::size_t image_size, u8 fill) {
   bytes image(image_size, fill);
-  for (const sim::bus_beat& beat : probe.log()) {
+  for (std::size_t b = 0; b < probe.size(); ++b) {
+    const sim::bus_beat& beat = probe[b];
     for (std::size_t i = 0; i < beat.data.size(); ++i) {
       const addr_t a = beat.addr + i;
       if (a < image_size) image[a] = beat.data[i];
@@ -22,9 +23,11 @@ double leakage_fraction(const sim::recording_probe& probe, addr_t secret_base,
   const bytes seen = reconstruct_from_probe(probe, secret_base + secret.size(), 0);
   // Count matches only where the probe actually observed traffic.
   std::vector<bool> observed(secret_base + secret.size(), false);
-  for (const sim::bus_beat& beat : probe.log())
+  for (std::size_t b = 0; b < probe.size(); ++b) {
+    const sim::bus_beat& beat = probe[b];
     for (std::size_t i = 0; i < beat.data.size(); ++i)
       if (beat.addr + i < observed.size()) observed[beat.addr + i] = true;
+  }
 
   std::size_t matches = 0;
   for (std::size_t i = 0; i < secret.size(); ++i)
@@ -36,7 +39,8 @@ std::size_t pattern_sightings(const sim::recording_probe& probe,
                               std::span<const u8> pattern) {
   if (pattern.empty()) return 0;
   std::size_t hits = 0;
-  for (const sim::bus_beat& beat : probe.log()) {
+  for (std::size_t b = 0; b < probe.size(); ++b) {
+    const sim::bus_beat& beat = probe[b];
     auto it = beat.data.begin();
     while ((it = std::search(it, beat.data.end(), pattern.begin(), pattern.end())) !=
            beat.data.end()) {

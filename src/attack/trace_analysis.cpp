@@ -12,9 +12,10 @@ trace_profile profile_bus_trace(const sim::recording_probe& probe,
 
   std::unordered_map<addr_t, u64> census;
   std::vector<addr_t> read_lines;
-  read_lines.reserve(probe.log().size());
+  read_lines.reserve(probe.size());
 
-  for (const sim::bus_beat& beat : probe.log()) {
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const sim::bus_beat& beat = probe[i];
     const addr_t line = beat.addr - beat.addr % line_size;
     if (beat.write) {
       ++out.write_beats;

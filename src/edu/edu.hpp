@@ -19,6 +19,8 @@ struct edu_stats {
   u64 cipher_blocks = 0;   ///< block-cipher invocations
   cycles crypto_cycles = 0; ///< cycles charged beyond the raw memory time
   u64 rmw_ops = 0;          ///< sub-block read-modify-write sequences
+  u64 batches = 0;          ///< submit() calls served
+  u64 batched_txns = 0;     ///< transactions carried by those batches
 };
 
 /// Base EDU. Derived classes implement the functional transform and the
@@ -39,6 +41,16 @@ class edu : public sim::memory_port {
   /// without charging time (verification/test hook).
   virtual void read_image(addr_t base, std::span<u8> plain_out);
 
+  /// Default transaction adapter: every surveyed EDU is batch-capable out
+  /// of the box by serialising the batch through its own scalar
+  /// read()/write() (functionally identical, no overlap). EDUs whose
+  /// hardware genuinely overlaps crypto with the bus (stream_edu, the
+  /// keyslot engine) override this with a native batch path.
+  void submit(std::span<sim::mem_txn> batch) override {
+    note_batch(batch.size());
+    sim::memory_port::submit(batch);
+  }
+
   [[nodiscard]] const edu_stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
@@ -46,6 +58,11 @@ class edu : public sim::memory_port {
   [[nodiscard]] virtual std::size_t preferred_chunk() const noexcept { return 64; }
 
  protected:
+  void note_batch(std::size_t txns) noexcept {
+    ++stats_.batches;
+    stats_.batched_txns += txns;
+  }
+
   sim::memory_port* lower_;
   edu_stats stats_;
 };

@@ -7,7 +7,7 @@ engine_edu::engine_edu(sim::memory_port& lower, std::span<const u8> key,
     : edu(lower), cfg_(std::move(cfg)),
       slots_(engine::backend_registry::builtin(), cfg_.num_slots),
       engine_(lower, slots_, cfg_.engine),
-      name_("Keyslot-" + cfg_.backend) {
+      name_(std::string(keyslot_name_prefix) + cfg_.backend) {
   const auto ctx = engine_.create_context(
       {cfg_.backend, bytes(key.begin(), key.end()), cfg_.data_unit_size});
   // Default context covers the full address space; further map_region()
@@ -27,6 +27,13 @@ cycles engine_edu::write(addr_t addr, std::span<const u8> in) {
   return t;
 }
 
+void engine_edu::submit(std::span<sim::mem_txn> batch) {
+  engine_.submit(batch);
+  sync_stats();
+}
+
+cycles engine_edu::drain() { return engine_.drain(); }
+
 void engine_edu::install_image(addr_t base, std::span<const u8> plain) {
   engine_.install(base, plain);
   sync_stats();
@@ -44,6 +51,8 @@ void engine_edu::sync_stats() noexcept {
   stats_.cipher_blocks = es.units;
   stats_.crypto_cycles = es.crypto_cycles;
   stats_.rmw_ops = es.rmw_ops;
+  stats_.batches = es.batches;
+  stats_.batched_txns = es.batched_txns;
 }
 
 } // namespace buscrypt::edu

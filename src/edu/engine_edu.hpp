@@ -8,6 +8,7 @@
 /// 3DES-CBC or an RC4 keystream depending on one config string.
 
 #include "edu/edu.hpp"
+#include "edu/names.hpp"
 #include "engine/bus_encryption_engine.hpp"
 
 #include <string>
@@ -15,7 +16,7 @@
 namespace buscrypt::edu {
 
 struct engine_edu_config {
-  std::string backend = "aes-ctr"; ///< engine::backend_registry name
+  std::string backend{keyslot_default_backend}; ///< engine::backend_registry name
   std::size_t data_unit_size = 32; ///< typically the cache line size
   unsigned num_slots = 4;          ///< hardware keyslot pool size
   engine::engine_config engine{};
@@ -34,6 +35,11 @@ class engine_edu final : public edu {
 
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
+
+  /// Batches go straight to the engine's pipelined native path (slots
+  /// programmed once per batch, crypto overlapped with the bus schedule).
+  void submit(std::span<sim::mem_txn> batch) override;
+  [[nodiscard]] cycles drain() override;
 
   void install_image(addr_t base, std::span<const u8> plain) override;
   void read_image(addr_t base, std::span<u8> plain_out) override;

@@ -1,0 +1,27 @@
+#pragma once
+/// \file names.hpp
+/// Display names shared between the SoC engine table and the engine_edu
+/// adapter, so "Keyslot-<backend>" is spelled in exactly one place
+/// (engine_name() needs it as a constexpr string_view; engine_edu
+/// composes it at runtime for non-default backends).
+
+#include <string_view>
+
+namespace buscrypt::edu {
+
+/// Display-name prefix of the keyslot-based inline engine.
+inline constexpr std::string_view keyslot_name_prefix = "Keyslot-";
+
+/// Backend the SoC's inline_keyslot engine is built with by default.
+inline constexpr std::string_view keyslot_default_backend = "aes-ctr";
+
+/// The default inline engine's display name.
+inline constexpr std::string_view keyslot_default_name = "Keyslot-aes-ctr";
+
+static_assert(keyslot_default_name.substr(0, keyslot_name_prefix.size()) ==
+                      keyslot_name_prefix &&
+                  keyslot_default_name.substr(keyslot_name_prefix.size()) ==
+                      keyslot_default_backend,
+              "keyslot_default_name must stay prefix + default backend");
+
+} // namespace buscrypt::edu

@@ -25,6 +25,19 @@ class plain_edu final : public edu {
     ++stats_.writes;
     return lower_->write(addr, in);
   }
+
+  /// A wire has nothing to serialise: hand the batch straight to the lower
+  /// level so multi-bank overlap reaches the unprotected baseline too.
+  void submit(std::span<sim::mem_txn> batch) override {
+    note_batch(batch.size());
+    for (const sim::mem_txn& txn : batch) {
+      // One count per segment, matching scalar issue of the same ops.
+      if (txn.is_write()) stats_.writes += txn.segments.size();
+      else stats_.reads += txn.segments.size();
+    }
+    lower_->submit(batch);
+  }
+  [[nodiscard]] cycles drain() override { return lower_->drain(); }
 };
 
 } // namespace buscrypt::edu

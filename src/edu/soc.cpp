@@ -21,41 +21,9 @@
 
 namespace buscrypt::edu {
 
-std::string_view engine_name(engine_kind kind) {
-  switch (kind) {
-    case engine_kind::plaintext: return "plaintext";
-    case engine_kind::best_stp: return "Best-STP";
-    case engine_kind::dallas_byte: return "DS5002FP-byte";
-    case engine_kind::dallas_des: return "DS5240-DES";
-    case engine_kind::block_ecb_aes: return "AES-ECB";
-    case engine_kind::block_cbc_aes: return "AES-CBCline";
-    case engine_kind::xom_aes: return "XOM-AES";
-    case engine_kind::aegis_cbc: return "AEGIS-AES-CBC";
-    case engine_kind::gilmont_3des: return "Gilmont-3DES";
-    case engine_kind::gi_3des_cbc: return "GI-3DES-CBC+MAC";
-    case engine_kind::stream_otp: return "Stream-OTP";
-    case engine_kind::stream_serial: return "Stream-serial";
-    case engine_kind::secure_dma: return "SecureDMA-page";
-    case engine_kind::cacheside_otp: return "CacheSide-OTP";
-    case engine_kind::compress_otp: return "Compress+OTP";
-    case engine_kind::inline_keyslot: return "Keyslot-aes-ctr";
-  }
-  return "?";
-}
-
-const std::vector<engine_kind>& all_engines() {
-  static const std::vector<engine_kind> kinds = {
-      engine_kind::plaintext,    engine_kind::best_stp,
-      engine_kind::dallas_byte,  engine_kind::dallas_des,
-      engine_kind::block_ecb_aes, engine_kind::block_cbc_aes,
-      engine_kind::xom_aes,      engine_kind::aegis_cbc,
-      engine_kind::gilmont_3des, engine_kind::gi_3des_cbc,
-      engine_kind::stream_otp,   engine_kind::stream_serial,
-      engine_kind::secure_dma,   engine_kind::cacheside_otp,
-      engine_kind::compress_otp, engine_kind::inline_keyslot,
-  };
-  return kinds;
-}
+// The engine_edu adapter composes its display name from the same
+// constants engine_name() uses, so the table and the adapter can't drift.
+static_assert(engine_name(engine_kind::inline_keyslot) == keyslot_default_name);
 
 secure_soc::secure_soc(engine_kind kind, const soc_config& cfg)
     : kind_(kind), cfg_(cfg), dram_(cfg.mem_size, cfg.mem_timing), ext_(dram_) {
@@ -190,6 +158,19 @@ bytes secure_soc::read_back(addr_t base, std::size_t len) {
 }
 
 sim::run_stats secure_soc::run(const sim::workload& w) { return cpu_->run(w); }
+
+sim::throughput_stats secure_soc::run_throughput(const sim::workload& w,
+                                                 std::size_t batch_txns) {
+  // The txn stream bypasses the L1: write back any dirty lines a prior
+  // run() left behind (so a later flush() cannot clobber this run's data)
+  // and drop the rest, so a later run() refetches what this run rewrites.
+  if (l1_) (void)l1_->flush_and_invalidate();
+  if (l1i_) (void)l1i_->flush_and_invalidate();
+  if (kind_ == engine_kind::secure_dma) (void)static_cast<dma_edu&>(*edu_).flush();
+  const auto ops = sim::to_port_ops(w, cfg_.l1.line_size);
+  if (batch_txns <= 1) return sim::issue_scalar(*edu_, ops, cfg_.l1.line_size);
+  return sim::issue_batched(*edu_, ops, cfg_.l1.line_size, batch_txns);
+}
 
 void secure_soc::flush() {
   if (l1_) (void)l1_->flush();

@@ -8,11 +8,13 @@
 #include "crypto/block_cipher.hpp"
 #include "crypto/toy_cipher.hpp"
 #include "edu/edu.hpp"
+#include "edu/names.hpp"
 #include "sim/bus.hpp"
 #include "sim/cache.hpp"
 #include "sim/cpu.hpp"
 #include "sim/workload.hpp"
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -38,11 +40,46 @@ enum class engine_kind {
   inline_keyslot,  ///< unified keyslot engine (engine/), AES-CTR default
 };
 
-/// Printable engine name (matches each EDU's name()).
-[[nodiscard]] std::string_view engine_name(engine_kind kind);
+/// Printable engine name (matches each EDU's name()). Compile-time so the
+/// benches and tests can static_assert on it.
+[[nodiscard]] constexpr std::string_view engine_name(engine_kind kind) noexcept {
+  switch (kind) {
+    case engine_kind::plaintext: return "plaintext";
+    case engine_kind::best_stp: return "Best-STP";
+    case engine_kind::dallas_byte: return "DS5002FP-byte";
+    case engine_kind::dallas_des: return "DS5240-DES";
+    case engine_kind::block_ecb_aes: return "AES-ECB";
+    case engine_kind::block_cbc_aes: return "AES-CBCline";
+    case engine_kind::xom_aes: return "XOM-AES";
+    case engine_kind::aegis_cbc: return "AEGIS-AES-CBC";
+    case engine_kind::gilmont_3des: return "Gilmont-3DES";
+    case engine_kind::gi_3des_cbc: return "GI-3DES-CBC+MAC";
+    case engine_kind::stream_otp: return "Stream-OTP";
+    case engine_kind::stream_serial: return "Stream-serial";
+    case engine_kind::secure_dma: return "SecureDMA-page";
+    case engine_kind::cacheside_otp: return "CacheSide-OTP";
+    case engine_kind::compress_otp: return "Compress+OTP";
+    case engine_kind::inline_keyslot: return keyslot_default_name;
+  }
+  return "?";
+}
+
+/// Every kind, in survey order — the sweep table, fixed at compile time.
+inline constexpr std::array<engine_kind, 16> all_engine_kinds = {
+    engine_kind::plaintext,     engine_kind::best_stp,
+    engine_kind::dallas_byte,   engine_kind::dallas_des,
+    engine_kind::block_ecb_aes, engine_kind::block_cbc_aes,
+    engine_kind::xom_aes,       engine_kind::aegis_cbc,
+    engine_kind::gilmont_3des,  engine_kind::gi_3des_cbc,
+    engine_kind::stream_otp,    engine_kind::stream_serial,
+    engine_kind::secure_dma,    engine_kind::cacheside_otp,
+    engine_kind::compress_otp,  engine_kind::inline_keyslot,
+};
 
 /// All kinds, in survey order — for sweeps.
-[[nodiscard]] const std::vector<engine_kind>& all_engines();
+[[nodiscard]] constexpr const std::array<engine_kind, 16>& all_engines() noexcept {
+  return all_engine_kinds;
+}
 
 struct soc_config {
   sim::cache_config l1{};
@@ -69,6 +106,14 @@ class secure_soc {
 
   /// Execute a workload; stats are cumulative per-run.
   [[nodiscard]] sim::run_stats run(const sim::workload& w);
+
+  /// Drive the engine directly (no CPU/L1 in the way) with line-granular
+  /// transactions lowered from \p w: the sustained requests/sec view of
+  /// the engine. batch_txns == 1 issues scalar blocking requests; larger
+  /// batches go through submit()/drain() and let the engine overlap
+  /// keystream/crypto with the bus and the DRAM banks with each other.
+  [[nodiscard]] sim::throughput_stats run_throughput(const sim::workload& w,
+                                                     std::size_t batch_txns);
 
   /// Write all dirty state (cache lines, page buffers) back to DRAM.
   void flush();

@@ -39,6 +39,82 @@ cycles stream_edu::read(addr_t addr, std::span<u8> out) {
   return total;
 }
 
+void stream_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+
+  // Stage ciphertext for every write segment up front (the pad needs only
+  // the address, so all of it can be generated before any data moves).
+  std::size_t write_segs = 0;
+  for (const sim::mem_txn& txn : batch)
+    if (txn.is_write()) write_segs += txn.segments.size();
+  std::vector<bytes> staged;
+  staged.reserve(write_segs); // no reallocation: spans below stay valid
+
+  cycles pad_total = 0;
+  cycles n_segments = 0; // xor stage runs once per segment, as in scalar issue
+  std::vector<cycles> txn_pad(batch.size(), 0), txn_xor(batch.size(), 0);
+  std::vector<sim::mem_txn> lower;
+  lower.reserve(batch.size());
+  for (std::size_t ti = 0; ti < batch.size(); ++ti) {
+    sim::mem_txn& txn = batch[ti];
+    // One count per segment, matching scalar issue of the same ops.
+    if (txn.is_write()) stats_.writes += txn.segments.size();
+    else stats_.reads += txn.segments.size();
+    sim::mem_txn lt;
+    lt.id = txn.id;
+    lt.op = txn.op;
+    lt.segments.reserve(txn.segments.size());
+    for (sim::txn_segment& seg : txn.segments) {
+      const cycles p = pad_time(seg.addr, seg.data.size());
+      pad_total += p;
+      txn_pad[ti] += p;
+      txn_xor[ti] += cfg_.xor_cycles;
+      ++n_segments;
+      if (txn.is_write()) {
+        staged.emplace_back(seg.data.begin(), seg.data.end());
+        apply_pad(seg.addr, staged.back());
+        lt.segments.push_back({seg.addr, std::span<u8>(staged.back())});
+      } else {
+        lt.segments.push_back(seg);
+      }
+    }
+    lower.push_back(std::move(lt));
+  }
+
+  lower_->submit(lower);
+  const cycles mem = lower_->drain();
+
+  // Reads decrypt as their data lands on the internal side of the bus.
+  for (sim::mem_txn& txn : batch)
+    if (!txn.is_write())
+      for (sim::txn_segment& seg : txn.segments) apply_pad(seg.addr, seg.data);
+
+  const cycles xr = cfg_.xor_cycles * n_segments;
+  const cycles total = cfg_.parallel_keystream ? std::max(mem, pad_total) + xr
+                                               : mem + pad_total + xr;
+  stats_.crypto_cycles += total - mem;
+  // Per-txn stamps, consistent with the makespan above: with the parallel
+  // keystream a txn completes when both its data and its share of the pad
+  // (generated in txn order) are in hand; serial hardware instead chains
+  // pad work after each arrival. Stamps stay monotone (in-order retire)
+  // and never exceed `total`.
+  cycles pad_prefix = 0, serial_done = 0, mono = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const cycles arrival = lower[i].complete_cycle;
+    pad_prefix += txn_pad[i];
+    cycles fin;
+    if (cfg_.parallel_keystream) {
+      fin = std::max(arrival, pad_prefix) + txn_xor[i];
+    } else {
+      serial_done = std::max(serial_done, arrival) + txn_pad[i] + txn_xor[i];
+      fin = serial_done;
+    }
+    mono = std::max(mono, fin);
+    batch[i].complete_cycle = pending_txn_cycles_ + mono;
+  }
+  pending_txn_cycles_ += total;
+}
+
 cycles stream_edu::write(addr_t addr, std::span<const u8> in) {
   ++stats_.writes;
   bytes ct(in.begin(), in.end());

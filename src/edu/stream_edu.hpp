@@ -34,6 +34,14 @@ class stream_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path: the pad for every transaction is generated once up
+  /// front from the addresses alone, so the whole batch's keystream
+  /// pipeline runs concurrently with the whole batch's bus schedule —
+  /// max(sum mem, sum pad) instead of the scalar sum of per-access maxes.
+  /// This is Fig. 2a's "key stream generation can be parallelised with
+  /// external data fetch" applied across requests, not just within one.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   [[nodiscard]] const stream_edu_config& config() const noexcept { return cfg_; }
 
  private:

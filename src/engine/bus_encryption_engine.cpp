@@ -104,6 +104,34 @@ cycles bus_encryption_engine::transform_units(keyed_cipher& kc, const keyslot_ke
   return t;
 }
 
+bus_encryption_engine::slot_lease
+bus_encryption_engine::lease_slot(const keyslot_key& k, bool charge_time, bool hw_only) {
+  slot_lease lease;
+  const u64 programs_before = slots_->stats().programs;
+  lease.guard = std::make_unique<slot_guard>(*slots_, k);
+  if (lease.guard->valid()) {
+    lease.kc = &lease.guard->keyed();
+    if (charge_time && slots_->stats().programs != programs_before) {
+      lease.setup = cfg_.slot_program_cycles;
+      stats_.crypto_cycles += cfg_.slot_program_cycles;
+    }
+    return lease;
+  }
+  if (hw_only) {
+    lease.guard.reset(); // caller retires its window and retries
+    return lease;
+  }
+  // Fall back to a software one-shot cipher when the pool is pinned out.
+  if (!cfg_.allow_fallback)
+    throw std::runtime_error("bus_encryption_engine: keyslot pool exhausted and "
+                             "fallback disabled");
+  lease.software = slots_->registry().at(k.backend).make_keyed(k.key);
+  lease.kc = lease.software.get();
+  lease.fallback = true;
+  ++stats_.fallbacks;
+  return lease;
+}
+
 cycles bus_encryption_engine::crypt_span(context_id ctx, addr_t addr, std::span<u8> data,
                                          bool is_write, bool charge_time) {
   const keyslot_key& k = contexts_[ctx];
@@ -113,29 +141,10 @@ cycles bus_encryption_engine::crypt_span(context_id ctx, addr_t addr, std::span<
   const bool head_partial = addr != a0;
   const bool tail_partial = addr + data.size() != a1;
 
-  // Resolve the context to a keyslot; fall back to a software one-shot
-  // cipher when the pool is pinned out.
-  const u64 programs_before = slots_->stats().programs;
-  slot_guard guard(*slots_, k);
-  std::unique_ptr<keyed_cipher> fallback_cipher;
-  keyed_cipher* kc = nullptr;
-  bool fallback = false;
-  cycles t = 0;
-  if (guard.valid()) {
-    kc = &guard.keyed();
-    if (charge_time && slots_->stats().programs != programs_before) {
-      t += cfg_.slot_program_cycles;
-      stats_.crypto_cycles += cfg_.slot_program_cycles;
-    }
-  } else {
-    if (!cfg_.allow_fallback)
-      throw std::runtime_error("bus_encryption_engine: keyslot pool exhausted and "
-                               "fallback disabled");
-    fallback_cipher = slots_->registry().at(k.backend).make_keyed(k.key);
-    kc = fallback_cipher.get();
-    fallback = true;
-    ++stats_.fallbacks;
-  }
+  slot_lease lease = lease_slot(k, charge_time);
+  keyed_cipher* kc = lease.kc;
+  const bool fallback = lease.fallback;
+  cycles t = lease.setup;
 
   bytes cover(static_cast<std::size_t>(a1 - a0));
 
@@ -205,6 +214,194 @@ cycles bus_encryption_engine::write(addr_t addr, std::span<const u8> in) {
     off += n;
   }
   return t;
+}
+
+void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
+  ++stats_.batches;
+  stats_.batched_txns += batch.size();
+
+  // One keyslot resolution per context per batch: the lease pins the slot
+  // (refcount) for the whole batch, so the program cost is paid at most
+  // once however many transactions share the context.
+  // Running batch clock: slot setup, flush makespans and scalar detours
+  // accrue here in issue order, so each txn can be stamped with its own
+  // completion time (relative to the last drain(), per the contract).
+  const cycles base = pending_txn_cycles_;
+  cycles clock = 0;
+
+  std::vector<std::pair<context_id, slot_lease>> live;
+  // Lookup-only: pin() below guarantees every staged context is in `live`,
+  // and a fresh lease here would bypass the contention-retirement protocol.
+  auto resolve = [&](context_id ctx) -> std::pair<keyed_cipher*, bool> {
+    for (auto& [id, lease] : live)
+      if (id == ctx) return {lease.kc, lease.fallback};
+    throw std::logic_error("bus_encryption_engine: context staged without a pin");
+  };
+  // Hardware-only pin for the native path: never commits to the software
+  // fallback, so contention can be handled by retiring the window instead.
+  auto pin = [&](context_id ctx) -> bool {
+    for (auto& [id, lease] : live)
+      if (id == ctx) return true;
+    slot_lease lease = lease_slot(contexts_[ctx], /*charge_time=*/true, /*hw_only=*/true);
+    if (lease.kc == nullptr) return false;
+    clock += lease.setup;
+    live.emplace_back(ctx, std::move(lease));
+    return true;
+  };
+
+  // Staged ciphertext for write segments; reserved up front so the spans
+  // handed to the lower batch stay valid.
+  std::size_t write_segs = 0;
+  for (const sim::mem_txn& txn : batch)
+    if (txn.is_write()) write_segs += txn.segments.size();
+  std::vector<bytes> staged;
+  staged.reserve(write_segs);
+
+  struct post_read {
+    keyed_cipher* kc;
+    const keyslot_key* key;
+    addr_t addr;
+    std::span<u8> data;
+    bool fallback;
+    std::size_t txn_idx; ///< owning entry in `lower`, for its arrival time
+  };
+  std::vector<sim::mem_txn> lower;
+  std::vector<sim::mem_txn*> flush_txns; ///< batch txns aligned with `lower`
+  std::vector<post_read> posts;
+  cycles par_crypto = 0; ///< pad-precomputable work pending in this flush
+  cycles engine_pre = 0; ///< data-dependent encipher staged before submission
+
+  // Ship the accumulated lower batch and decipher the reads it carried.
+  // Called before any scalar detour so functional order is preserved.
+  // Timing: pad-precomputable crypto (CTR/stream) needs only the DUN, so it
+  // runs in parallel with the fetch (Fig. 2a) and the flush costs the max of
+  // the two. Data-dependent crypto (ECB/CBC decrypt) runs on one serial
+  // cipher core and each unit cannot start before its own data arrives, so
+  // it pipelines against *later* fetches but its tail is never hidden — a
+  // single-txn batch degenerates to the scalar mem + crypto.
+  auto flush_lower = [&] {
+    if (lower.empty()) return;
+    lower_->submit(lower);
+    const cycles mem_span = lower_->drain();
+    // Per-lower-txn finish: data arrival, pushed later by any serial
+    // decipher it still owes.
+    std::vector<cycles> finish(lower.size());
+    for (std::size_t i = 0; i < lower.size(); ++i) finish[i] = lower[i].complete_cycle;
+    cycles engine_done = engine_pre;
+    for (post_read& pr : posts) {
+      const cycles c = transform_units(*pr.kc, *pr.key, pr.addr, pr.data,
+                                       /*encrypt=*/false, pr.fallback, /*charge=*/true);
+      if (pr.kc->pad_precomputable()) {
+        par_crypto += c;
+      } else {
+        engine_done = std::max(engine_done, lower[pr.txn_idx].complete_cycle) + c;
+        finish[pr.txn_idx] = std::max(finish[pr.txn_idx], engine_done);
+      }
+    }
+    cycles mono = 0; // in-order retirement: stamps stay monotone
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+      mono = std::max(mono, finish[i]);
+      flush_txns[i]->complete_cycle = base + clock + mono;
+    }
+    clock += std::max({mem_span, par_crypto, engine_done});
+    lower.clear();
+    flush_txns.clear();
+    posts.clear();
+    par_crypto = 0;
+    engine_pre = 0;
+  };
+
+  std::vector<context_id> seg_ctx; // eligibility-pass span_at results, reused below
+  for (sim::mem_txn& txn : batch) {
+    // The pipelined path handles whole data units inside one context; a
+    // txn needing RMW, region splits or passthrough detours via the
+    // scalar datapath (which counts its own reads/writes).
+    seg_ctx.clear();
+    bool eligible = !txn.segments.empty();
+    for (const sim::txn_segment& seg : txn.segments) {
+      const auto [ctx, n] = span_at(seg.addr, seg.data.size());
+      if (ctx == no_context || n != seg.data.size()) {
+        eligible = false;
+        break;
+      }
+      const std::size_t du = contexts_[ctx].data_unit_size;
+      if (seg.addr % du != 0 || seg.data.size() % du != 0) {
+        eligible = false;
+        break;
+      }
+      seg_ctx.push_back(ctx);
+    }
+
+    if (eligible) {
+      // Pin every context this txn touches before staging any of it. A
+      // pool miss first retires the window — flushing pending work and
+      // releasing this batch's pins, the per-request release the scalar
+      // path gets from its slot guards — then retries; a txn whose own
+      // context set still cannot co-reside in the pool detours to the
+      // scalar datapath, which leases (and may fall back) per segment
+      // exactly as scalar issue would.
+      for (int attempt = 0;; ++attempt) {
+        bool missed = false;
+        for (context_id ctx : seg_ctx)
+          if (!pin(ctx)) {
+            missed = true;
+            break;
+          }
+        if (!missed) break;
+        flush_lower();
+        live.clear();
+        if (attempt == 1) {
+          eligible = false;
+          break;
+        }
+      }
+    }
+
+    if (!eligible) {
+      flush_lower();
+      live.clear(); // release this batch's pins: the detour leases per request
+      for (sim::txn_segment& seg : txn.segments)
+        clock += txn.is_write() ? write(seg.addr, std::span<const u8>(seg.data))
+                                : read(seg.addr, seg.data);
+      txn.complete_cycle = base + clock;
+      continue;
+    }
+
+    ++stats_.batch_native;
+    // One count per segment, matching scalar issue of the same ops.
+    if (txn.is_write()) stats_.writes += txn.segments.size();
+    else stats_.reads += txn.segments.size();
+    sim::mem_txn lt;
+    lt.id = txn.id;
+    lt.op = txn.op;
+    lt.segments.reserve(txn.segments.size());
+    for (std::size_t si = 0; si < txn.segments.size(); ++si) {
+      sim::txn_segment& seg = txn.segments[si];
+      const context_id ctx = seg_ctx[si];
+      const auto [kc, fallback] = resolve(ctx);
+      const keyslot_key& k = contexts_[ctx];
+      if (txn.is_write()) {
+        staged.emplace_back(seg.data.begin(), seg.data.end());
+        const cycles c = transform_units(*kc, k, seg.addr, staged.back(),
+                                         /*encrypt=*/true, fallback, /*charge=*/true);
+        // Write data is in hand at staging time: precomputable pads overlap
+        // the bus, block-mode encipher occupies the serial core up front.
+        if (kc->pad_precomputable()) par_crypto += c;
+        else engine_pre += c;
+        lt.segments.push_back({seg.addr, std::span<u8>(staged.back())});
+      } else {
+        lt.segments.push_back(seg);
+        posts.push_back({kc, &k, seg.addr, seg.data, fallback, lower.size()});
+      }
+    }
+    lower.push_back(std::move(lt));
+    flush_txns.push_back(&txn);
+  }
+  flush_lower();
+
+  // clock now holds slot setup + the causally-scheduled flush makespans +
+  // scalar detours (which already folded their crypto into their own time).
+  pending_txn_cycles_ += clock;
 }
 
 void bus_encryption_engine::install(addr_t base, std::span<const u8> plain) {

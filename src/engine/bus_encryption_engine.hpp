@@ -44,6 +44,9 @@ struct engine_stats {
   u64 rmw_ops = 0;        ///< partial-unit writes needing read-modify-write
   u64 fallbacks = 0;      ///< requests served by the software fallback
   u64 passthrough = 0;    ///< requests to unmapped (unprotected) regions
+  u64 batches = 0;        ///< submit() calls served
+  u64 batched_txns = 0;   ///< transactions carried by those batches
+  u64 batch_native = 0;   ///< transactions taken by the pipelined batch path
   cycles crypto_cycles = 0;
 };
 
@@ -82,6 +85,17 @@ class bus_encryption_engine final : public sim::memory_port {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path. Per batch: every referenced context resolves to a
+  /// keyslot once (slots are pinned and programmed at most once, however
+  /// many transactions share them), write units are enciphered up front,
+  /// the whole batch goes to the lower port as one submission (multi-bank
+  /// overlap composes), and read units decipher as the data lands — so the
+  /// crypto pipeline runs concurrently with the bus schedule and the batch
+  /// costs max(mem, crypto) instead of their sum. Transactions that need
+  /// unit-unaligned or unmapped handling drop to the scalar path without
+  /// breaking functional order (pending lower work is flushed first).
+  void submit(std::span<sim::mem_txn> batch) override;
+
   // --- offline paths (no simulated time) -----------------------------------
   /// Install a plaintext image through the encrypt path ("memory content
   /// ciphering can be done offline", Section 2.1).
@@ -100,6 +114,26 @@ class bus_encryption_engine final : public sim::memory_port {
     std::size_t len = 0;
     context_id ctx = no_context;
   };
+
+  /// A keyslot held for the duration of one request or one batch, or the
+  /// software fallback when the pool is pinned out. The single home of the
+  /// acquire/program-cost/fallback protocol, shared by the scalar and
+  /// batched datapaths so their timing and stats cannot drift apart.
+  struct slot_lease {
+    std::unique_ptr<slot_guard> guard;      ///< pins the hardware slot
+    std::unique_ptr<keyed_cipher> software; ///< fallback instance, if used
+    keyed_cipher* kc = nullptr;
+    bool fallback = false;
+    cycles setup = 0; ///< slot-program cycles charged (0 on a warm hit)
+  };
+
+  /// With \p hw_only, a pinned-out pool returns a lease whose kc is null
+  /// instead of falling back or throwing — the batch path probes this way
+  /// so it can retire its window and retry before giving up.
+  /// \throws std::runtime_error when the pool is pinned, fallback is off
+  ///         and \p hw_only is false.
+  [[nodiscard]] slot_lease lease_slot(const keyslot_key& k, bool charge_time,
+                                      bool hw_only = false);
 
   /// One mapped-region segment of a request, expressed in covering units.
   [[nodiscard]] cycles crypt_span(context_id ctx, addr_t addr, std::span<u8> data,

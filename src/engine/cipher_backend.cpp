@@ -51,6 +51,10 @@ class block_keyed final : public keyed_cipher {
     return cost_.time(nbytes, encrypt);
   }
 
+  [[nodiscard]] bool pad_precomputable() const noexcept override {
+    return mode_ == unit_mode::ctr;
+  }
+
  private:
   void crypt(u64 dun, std::span<const u8> in, std::span<u8> out, bool encrypt) {
     check_unit(granule(), in, out);
@@ -104,6 +108,8 @@ class stream_keyed final : public keyed_cipher {
   [[nodiscard]] cycles unit_cost(std::size_t nbytes, bool encrypt) const noexcept override {
     return cost_.time(nbytes, encrypt);
   }
+
+  [[nodiscard]] bool pad_precomputable() const noexcept override { return true; }
 
  private:
   void crypt(u64 dun, std::span<const u8> in, std::span<u8> out) {

@@ -71,6 +71,12 @@ class keyed_cipher {
 
   /// Cycles the hardware model charges for \p nbytes on this path.
   [[nodiscard]] virtual cycles unit_cost(std::size_t nbytes, bool encrypt) const noexcept = 0;
+
+  /// True when the keystream depends only on the data-unit number, never on
+  /// the data (CTR mode, stream generators): the engine can generate the pad
+  /// in parallel with the external fetch — the survey's Fig. 2a overlap.
+  /// False for ECB/CBC, whose decrypt causally needs the fetched ciphertext.
+  [[nodiscard]] virtual bool pad_precomputable() const noexcept { return false; }
 };
 
 /// An algorithm+mode the engine can be programmed with. Stateless and

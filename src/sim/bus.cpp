@@ -1,8 +1,32 @@
 #include "sim/bus.hpp"
 
+#include <algorithm>
+
 namespace buscrypt::sim {
 
-void external_memory::emit_beats(addr_t addr, std::span<const u8> data, bool write) {
+void recording_probe::on_beat(const bus_beat& beat) {
+  ++seen_;
+  if (capacity_ == 0 || log_.size() < capacity_) {
+    log_.push_back(beat);
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  log_[head_] = beat;
+  head_ = (head_ + 1) % capacity_;
+}
+
+const std::vector<bus_beat>& recording_probe::log() const {
+  if (head_ != 0) {
+    // Normalise the ring so the vector reads oldest-first.
+    std::rotate(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(head_),
+                log_.end());
+    head_ = 0;
+  }
+  return log_;
+}
+
+void external_memory::emit_beats(addr_t addr, std::span<const u8> data, bool write,
+                                 cycles at) {
   if (probes_.empty()) return;
   const unsigned bus_bytes = dram_->timing().bus_bytes;
   for (std::size_t off = 0; off < data.size(); off += bus_bytes) {
@@ -12,27 +36,65 @@ void external_memory::emit_beats(addr_t addr, std::span<const u8> data, bool wri
     const std::size_t n = std::min<std::size_t>(bus_bytes, data.size() - off);
     beat.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
                      data.begin() + static_cast<std::ptrdiff_t>(off + n));
-    beat.at = now_ + (off / bus_bytes) * dram_->timing().beat;
+    beat.at = at + (off / bus_bytes) * dram_->timing().beat;
     for (bus_probe* p : probes_) p->on_beat(beat);
   }
 }
 
 cycles external_memory::read(addr_t addr, std::span<u8> out) {
-  const cycles t = dram_->access_time(addr, out.size());
   dram_->read_bytes(addr, out);
-  emit_beats(addr, out, /*write=*/false);
+  // Stamp beats at data-arrival (after activate/CAS), the same convention
+  // submit() uses, so scalar and batched traffic through one probe share a
+  // single timebase.
+  const cycles first = dram_->first_latency(addr);
+  const cycles t = first + dram_->burst_cycles(out.size());
+  emit_beats(addr, out, /*write=*/false, now_ + first);
   now_ += t;
   bytes_read_ += out.size();
   return t;
 }
 
 cycles external_memory::write(addr_t addr, std::span<const u8> in) {
-  const cycles t = dram_->access_time(addr, in.size());
   dram_->write_bytes(addr, in);
-  emit_beats(addr, in, /*write=*/true);
+  const cycles first = dram_->first_latency(addr);
+  const cycles t = first + dram_->burst_cycles(in.size());
+  emit_beats(addr, in, /*write=*/true, now_ + first);
   now_ += t;
   bytes_written_ += in.size();
   return t;
+}
+
+void external_memory::submit(std::span<mem_txn> batch) {
+  // The scheduled path: per-segment activate/CAS binds to the segment's
+  // bank (distinct banks overlap), data beats serialise on the bus.
+  // Functional effects stay in submission order; scalar calls never leave
+  // bank_ready_ ahead of now_, so stale entries are harmless.
+  const cycles start = now_;
+  cycles bus_free = start;
+  cycles last = start;
+  for (mem_txn& txn : batch) {
+    for (txn_segment& seg : txn.segments) {
+      if (txn.is_write()) {
+        dram_->write_bytes(seg.addr, seg.data);
+        bytes_written_ += seg.data.size();
+      } else {
+        dram_->read_bytes(seg.addr, seg.data);
+        bytes_read_ += seg.data.size();
+      }
+      const unsigned b = dram_->bank_of(seg.addr);
+      const cycles cmd = std::max(start, bank_ready_[b]);
+      const cycles data_ready = cmd + dram_->first_latency(seg.addr);
+      const cycles bus_start = std::max(data_ready, bus_free);
+      const cycles done = bus_start + dram_->burst_cycles(seg.data.size());
+      bank_ready_[b] = done;
+      bus_free = done;
+      emit_beats(seg.addr, seg.data, txn.is_write(), bus_start);
+      last = std::max(last, done);
+    }
+    txn.complete_cycle = pending_txn_cycles_ + (last - start);
+  }
+  pending_txn_cycles_ += last - start;
+  now_ = last;
 }
 
 } // namespace buscrypt::sim

@@ -60,15 +60,22 @@ cache::locate_result cache::locate(addr_t line_addr, bool for_write) {
   }
 
   cycles spent = 0;
-  if (victim->valid) {
+  if (victim->valid && victim->dirty) {
+    // Dirty miss: issue the evict/fill pair as one transaction batch so a
+    // lower level with real concurrency (multi-bank DRAM, keystream
+    // parallel to the fetch) can overlap them. Functional order is
+    // preserved — the writeback drains victim->data before the fill
+    // refills it.
     ++stats_.evictions;
-    if (victim->dirty) {
-      ++stats_.writebacks;
-      spent += lower_->write(victim->tag, victim->data);
-    }
+    ++stats_.writebacks;
+    mem_txn pair[2] = {mem_txn::write_of(0, victim->tag, victim->data),
+                       mem_txn::read_of(1, line_addr, victim->data)};
+    lower_->submit(pair);
+    spent += lower_->drain();
+  } else {
+    if (victim->valid) ++stats_.evictions;
+    spent += lower_->read(line_addr, victim->data);
   }
-
-  spent += lower_->read(line_addr, victim->data);
   victim->valid = true;
   victim->dirty = for_write && cfg_.write_back;
   victim->tag = line_addr;
@@ -149,15 +156,19 @@ cycles cache::write(addr_t addr, std::span<const u8> in) {
 }
 
 cycles cache::flush() {
-  cycles total = 0;
+  // All dirty lines leave as one batch: the drain of an entire cache is
+  // the throughput-bound case the transaction pipeline exists for.
+  std::vector<mem_txn> writebacks;
   for (auto& l : lines_) {
     if (l.valid && l.dirty) {
-      total += lower_->write(l.tag, l.data);
+      writebacks.push_back(mem_txn::write_of(writebacks.size(), l.tag, l.data));
       ++stats_.writebacks;
       l.dirty = false;
     }
   }
-  return total;
+  if (writebacks.empty()) return 0;
+  lower_->submit(writebacks);
+  return lower_->drain();
 }
 
 } // namespace buscrypt::sim

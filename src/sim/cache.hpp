@@ -50,7 +50,18 @@ class cache final : public memory_port {
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
   /// Write back every dirty line (e.g. before an attacker inspects DRAM).
+  /// Issued below as one transaction batch, so an overlapping lower level
+  /// drains it at sustained throughput rather than per-line latency.
   [[nodiscard]] cycles flush();
+
+  /// Write back every dirty line, then drop all lines. For callers that
+  /// mutate memory below the cache (e.g. a direct transaction stream) and
+  /// need later accesses to refetch.
+  [[nodiscard]] cycles flush_and_invalidate() {
+    const cycles t = flush();
+    for (line& l : lines_) l.valid = false;
+    return t;
+  }
 
   /// True when the line containing \p addr is resident (test hook).
   [[nodiscard]] bool contains(addr_t addr) const noexcept;

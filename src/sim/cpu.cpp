@@ -13,6 +13,7 @@ run_stats cpu::run(const workload& w) {
   for (const mem_access& acc : w.accesses) {
     const std::size_t n = acc.size;
     cycles latency = 0;
+    rs.bytes += n;
     switch (acc.kind) {
       case access_kind::fetch:
         ++rs.instructions;
@@ -25,9 +26,7 @@ run_stats cpu::run(const workload& w) {
         break;
       case access_kind::store: {
         ++rs.mem_ops;
-        // Store a value derived from the address so downstream ciphertext
-        // and writebacks carry real, varying data.
-        store_le64(buf.data(), acc.addr * 0x9E3779B97F4A7C15ULL + 1);
+        fill_store_pattern(acc.addr, std::span<u8>(buf.data(), n));
         latency = l1d_->write(acc.addr, std::span<const u8>(buf.data(), n));
         break;
       }

@@ -14,12 +14,20 @@ namespace buscrypt::sim {
 struct run_stats {
   u64 instructions = 0;  ///< fetches executed
   u64 mem_ops = 0;       ///< loads + stores
+  u64 bytes = 0;         ///< architectural bytes moved (fetch + load + store)
   cycles total_cycles = 0;
   cycles stall_cycles = 0; ///< cycles beyond 1-per-instruction issue
 
   [[nodiscard]] double cpi() const noexcept {
     return instructions == 0 ? 0.0
                              : static_cast<double>(total_cycles) / static_cast<double>(instructions);
+  }
+
+  /// Sustained throughput of the run (the survey's overlap story is only
+  /// visible in this metric, not in per-access latency).
+  [[nodiscard]] double bytes_per_cycle() const noexcept {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(bytes) / static_cast<double>(total_cycles);
   }
 
   /// Slowdown of this run against a baseline run (1.0 = no overhead).

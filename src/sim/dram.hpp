@@ -2,7 +2,10 @@
 /// \file dram.hpp
 /// External memory: the untrusted RAM chip outside the SoC boundary. Holds
 /// the actual byte image (ciphertext when an EDU is in front of it) and
-/// charges open-page DRAM timing.
+/// charges open-page DRAM timing. Rows interleave across a configurable
+/// number of banks; accesses to distinct banks can overlap their
+/// activate/CAS latency, which is what the transaction pipeline exploits
+/// (the data beats still serialise on the shared bus).
 
 #include "common/types.hpp"
 
@@ -20,9 +23,10 @@ struct dram_timing {
   cycles beat = 2;        ///< cycles per bus beat once bursting
   unsigned bus_bytes = 8; ///< bytes transferred per beat
   std::size_t row_size = 2048; ///< DRAM row (page) size in bytes
+  unsigned banks = 1;     ///< independent banks; rows interleave across them
 };
 
-/// Byte-addressable external memory with open-row timing.
+/// Byte-addressable external memory with per-bank open-row timing.
 class dram {
  public:
   dram(std::size_t size, dram_timing timing = {});
@@ -32,7 +36,20 @@ class dram {
   void write_bytes(addr_t addr, std::span<const u8> in);
 
   /// Latency of a burst of \p len bytes at \p addr; updates the open row.
+  /// Equals first_latency(addr) + burst_cycles(len).
   [[nodiscard]] cycles access_time(addr_t addr, std::size_t len);
+
+  /// The bank serving \p addr (global row index modulo bank count).
+  [[nodiscard]] unsigned bank_of(addr_t addr) const noexcept;
+
+  /// First-data latency at \p addr: row hit or miss against the bank's open
+  /// row; updates the open row and the hit/miss counters. The scheduled
+  /// (transaction) path calls this per segment so per-bank row state stays
+  /// consistent with the issue order.
+  [[nodiscard]] cycles first_latency(addr_t addr);
+
+  /// Bus occupancy of a \p len-byte burst, in cycles.
+  [[nodiscard]] cycles burst_cycles(std::size_t len) const noexcept;
 
   /// The bare chip contents — what a Class-II attacker desoldering or
   /// probing the part reads. Attacks and loaders use this deliberately.
@@ -51,7 +68,7 @@ class dram {
 
   std::vector<u8> store_;
   dram_timing timing_;
-  addr_t open_row_ = ~addr_t{0};
+  std::vector<addr_t> open_rows_; ///< per bank; ~0 = closed
   u64 row_hits_ = 0;
   u64 row_misses_ = 0;
 };

@@ -5,10 +5,21 @@
 /// memory_port; an EDU is a memory_port decorator wrapping the external
 /// memory — which is exactly the survey's Fig. 2c/7a topology (cache ->
 /// EDU -> memory controller -> external memory).
+///
+/// Two issue styles share the seam:
+///  - scalar read()/write(): one blocking request, returns its latency;
+///  - submit()/drain(): a batch of mem_txn requests whose *timing* may
+///    overlap (multi-bank DRAM, keystream parallel to the fetch) while
+///    functional effects stay in submission order. The default adapter
+///    serialises a batch through the scalar path, so every existing
+///    memory_port is batch-capable; ports with real concurrency
+///    (external_memory, stream_edu, bus_encryption_engine) override it.
 
 #include "common/types.hpp"
+#include "sim/mem_txn.hpp"
 
 #include <span>
+#include <utility>
 
 namespace buscrypt::sim {
 
@@ -24,6 +35,34 @@ class memory_port {
 
   /// Write |in| bytes at addr. Returns total latency in cycles.
   [[nodiscard]] virtual cycles write(addr_t addr, std::span<const u8> in) = 0;
+
+  /// Submit a batch of transactions. Functional effects are applied in
+  /// submission order; timing may overlap between transactions. Each
+  /// txn's complete_cycle is set relative to the last drain(). The cycles
+  /// consumed accumulate until drain() collects them.
+  ///
+  /// Default adapter: serial issue through read()/write(), so the batch
+  /// makespan equals the sum of scalar latencies.
+  virtual void submit(std::span<mem_txn> batch) {
+    cycles t = pending_txn_cycles_;
+    for (mem_txn& txn : batch) {
+      for (txn_segment& seg : txn.segments) {
+        t += txn.is_write() ? write(seg.addr, std::span<const u8>(seg.data))
+                            : read(seg.addr, seg.data);
+      }
+      txn.complete_cycle = t;
+    }
+    pending_txn_cycles_ = t;
+  }
+
+  /// Collect the cycles consumed by everything submitted since the last
+  /// drain() (the batch makespan, not the per-txn sum, on overlapping
+  /// ports) and reset the accumulator.
+  [[nodiscard]] virtual cycles drain() { return std::exchange(pending_txn_cycles_, 0); }
+
+ protected:
+  /// Accumulator shared by the default adapter and native batch paths.
+  cycles pending_txn_cycles_ = 0;
 };
 
 } // namespace buscrypt::sim

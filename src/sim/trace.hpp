@@ -4,8 +4,12 @@
 /// survey's overheads are all functions of the access pattern (fetch
 /// locality, JUMP rate, write fraction), which traces capture exactly.
 
+#include "common/bitops.hpp"
 #include "common/types.hpp"
 
+#include <algorithm>
+#include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,6 +31,20 @@ struct mem_access {
 
 /// An ordered access stream plus bookkeeping.
 using trace = std::vector<mem_access>;
+
+/// The deterministic store payload the simulator writes at \p addr: every
+/// 8-byte lane carries a value derived from its own address, so downstream
+/// ciphertext and writebacks hold real, varying data. Shared by the CPU
+/// model and the transaction drivers — scalar and batched issue of the
+/// same trace therefore produce byte-identical memory images.
+inline void fill_store_pattern(addr_t addr, std::span<u8> out) {
+  std::array<u8, 8> lane{};
+  for (std::size_t off = 0; off < out.size(); off += 8) {
+    store_le64(lane.data(), (addr + off) * 0x9E3779B97F4A7C15ULL + 1);
+    const std::size_t n = std::min<std::size_t>(8, out.size() - off);
+    std::copy_n(lane.begin(), n, out.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
 
 /// A named trace with the memory image it executes over.
 struct workload {

@@ -153,6 +153,64 @@ workload make_streaming(std::size_t n_elems, std::size_t array_size,
   return w;
 }
 
+std::vector<port_op> to_port_ops(const workload& w, std::size_t chunk) {
+  require(chunk >= 8 && chunk % 8 == 0, "to_port_ops: chunk must be a multiple of 8");
+  std::vector<port_op> ops;
+  ops.reserve(w.accesses.size());
+  for (const mem_access& acc : w.accesses) {
+    const port_op op{acc.addr - acc.addr % chunk, acc.kind == access_kind::store};
+    if (!ops.empty() && ops.back().addr == op.addr && ops.back().write == op.write)
+      continue; // the L1 would have filtered this repeat
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+throughput_stats issue_scalar(memory_port& port, std::span<const port_op> ops,
+                              std::size_t chunk) {
+  throughput_stats ts;
+  bytes buf(chunk);
+  for (const port_op& op : ops) {
+    if (op.write) {
+      fill_store_pattern(op.addr, buf);
+      ts.total_cycles += port.write(op.addr, buf);
+    } else {
+      ts.total_cycles += port.read(op.addr, buf);
+    }
+    ++ts.ops;
+    ts.bytes += chunk;
+  }
+  return ts;
+}
+
+throughput_stats issue_batched(memory_port& port, std::span<const port_op> ops,
+                               std::size_t chunk, std::size_t batch_txns) {
+  require(batch_txns >= 1, "issue_batched: batch_txns must be >= 1");
+  throughput_stats ts;
+  bytes buf(chunk * batch_txns); // one backing lane per in-flight txn
+  std::vector<mem_txn> batch;
+  batch.reserve(batch_txns);
+  for (std::size_t base = 0; base < ops.size(); base += batch_txns) {
+    const std::size_t n = std::min(batch_txns, ops.size() - base);
+    batch.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const port_op& op = ops[base + i];
+      const std::span<u8> lane(buf.data() + i * chunk, chunk);
+      if (op.write) {
+        fill_store_pattern(op.addr, lane);
+        batch.push_back(mem_txn::write_of(base + i, op.addr, lane));
+      } else {
+        batch.push_back(mem_txn::read_of(base + i, op.addr, lane));
+      }
+    }
+    port.submit(batch);
+    ts.total_cycles += port.drain();
+    ts.ops += n;
+    ts.bytes += n * chunk;
+  }
+  return ts;
+}
+
 std::vector<workload> standard_suite(u64 seed) {
   std::vector<workload> suite;
   suite.push_back(make_sequential_code(200'000, 96 * 1024, 400, seed + 1));

@@ -9,6 +9,7 @@
 ///   - streaming           -> bandwidth-bound
 
 #include "common/rng.hpp"
+#include "sim/memory_port.hpp"
 #include "sim/trace.hpp"
 
 namespace buscrypt::sim {
@@ -44,5 +45,47 @@ namespace buscrypt::sim {
 /// a mix representative of embedded firmware (mostly sequential code, some
 /// branches, moderate data traffic).
 [[nodiscard]] std::vector<workload> standard_suite(u64 seed);
+
+// --- transaction drivers -----------------------------------------------------
+// Tools for issuing a workload straight at a memory_port (an EDU, usually)
+// in chunk-granular transactions — the request/sec view of an engine that
+// Sealer-style throughput evaluation needs, with no CPU/L1 in the way.
+
+/// One chunk-granular port operation derived from a workload access.
+struct port_op {
+  addr_t addr = 0;   ///< chunk-aligned
+  bool write = false;
+};
+
+/// Lower a trace to chunk-aligned port operations, in program order, with
+/// consecutive duplicates coalesced (the filtering an L1 would do for
+/// free). Writes widen to the whole chunk, as a write-allocate line store
+/// would.
+[[nodiscard]] std::vector<port_op> to_port_ops(const workload& w, std::size_t chunk);
+
+/// What a driver run measured.
+struct throughput_stats {
+  u64 ops = 0;
+  u64 bytes = 0;
+  cycles total_cycles = 0;
+
+  [[nodiscard]] double bytes_per_cycle() const noexcept {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(bytes) / static_cast<double>(total_cycles);
+  }
+};
+
+/// Issue \p ops one blocking scalar read()/write() at a time.
+[[nodiscard]] throughput_stats issue_scalar(memory_port& port,
+                                            std::span<const port_op> ops,
+                                            std::size_t chunk);
+
+/// Issue \p ops as submit()/drain() batches of \p batch_txns transactions.
+/// Store data uses fill_store_pattern, so a scalar and a batched issue of
+/// the same ops leave byte-identical memory images behind the port.
+[[nodiscard]] throughput_stats issue_batched(memory_port& port,
+                                             std::span<const port_op> ops,
+                                             std::size_t chunk,
+                                             std::size_t batch_txns);
 
 } // namespace buscrypt::sim
