@@ -1,0 +1,193 @@
+// tab8_multimaster — the shared bus under contention: aggregate throughput
+// and per-master latency vs. master count and arbitration policy.
+//
+// The survey's SoCs are multi-master systems: the CPU, VLSI Technology's
+// secure DMA engine (Fig. 4) and peripherals all initiate transfers on the
+// one external bus the EDU protects. This bench generalises tab7's
+// single-stream throughput view: N masters (CPU compute, DMA bulk copies,
+// peripheral polling) are time-multiplexed onto every engine by a
+// sim::bus_arbiter, under round-robin and fixed-priority (with aging)
+// policies. Aggregate bytes/cycle shows how far each engine's crypto
+// datapath scales as bandwidth-bound masters join; per-master average
+// latency and starvation streaks show what each policy costs the others.
+// On the keyslot engine the DMA masters run inside private per-master
+// protection domains (own keys) sharing the one slot pool.
+//
+// Emits BENCH_multimaster.json (machine-readable, consumed by CI) next to
+// the console tables.
+
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr unsigned kBanks = 8;
+constexpr std::size_t kWindowTxns = 8;
+constexpr buscrypt::u64 kStarvationLimit = 32;
+
+constexpr buscrypt::addr_t kDma1Src = 2u << 20;
+constexpr buscrypt::addr_t kDma1Dst = (2u << 20) + (1u << 19);
+constexpr buscrypt::addr_t kDma2Src = 4u << 20;
+constexpr buscrypt::addr_t kDma2Dst = (4u << 20) + (1u << 19);
+constexpr buscrypt::addr_t kPeriphRegs = 3u << 20;
+constexpr std::size_t kDmaBytes = 48 * 1024;
+
+buscrypt::edu::soc_config multimaster_soc() {
+  buscrypt::edu::soc_config cfg = buscrypt::bench::default_soc();
+  cfg.mem_timing.banks = kBanks;
+  return cfg;
+}
+
+/// The full 4-master cast; a run with N masters takes the first N.
+/// Order matters for the scaling story: the bandwidth-bound DMA engines
+/// join before the latency-bound peripheral.
+std::vector<buscrypt::edu::master_desc> full_cast(bool keyslot_domains) {
+  using namespace buscrypt;
+  std::vector<edu::master_desc> m(4);
+  m[0].role = edu::master_kind::cpu;
+  m[0].name = "cpu";
+  m[0].work = sim::make_data_rw(4000, 64 * 1024, 0.5, 0.4, 8, 0x7AB8);
+  m[0].priority = 5;
+  m[1].role = edu::master_kind::dma;
+  m[1].name = "dma0";
+  m[1].work = sim::make_dma_copy(kDmaBytes, kDma1Src, kDma1Dst, 128, 0x7AB9);
+  m[1].priority = 1;
+  m[2].role = edu::master_kind::dma;
+  m[2].name = "dma1";
+  m[2].work = sim::make_dma_copy(kDmaBytes, kDma2Src, kDma2Dst, 128, 0x7ABA);
+  m[2].priority = 1;
+  m[3].role = edu::master_kind::peripheral;
+  m[3].name = "periph";
+  m[3].work = sim::make_peripheral_poll(2000, kPeriphRegs, 8, 64, 16, 0x7ABB);
+  m[3].priority = 9;
+  if (keyslot_domains) {
+    m[1].domain_base = kDma1Src;
+    m[1].domain_len = 1u << 20;
+    m[2].domain_base = kDma2Src;
+    m[2].domain_len = 1u << 20;
+  }
+  return m;
+}
+
+struct run_result {
+  std::size_t masters = 0;
+  buscrypt::sim::arbiter_stats stats;
+};
+
+struct policy_result {
+  buscrypt::sim::arb_policy policy{};
+  std::vector<run_result> runs; ///< one per master count 1..4
+};
+
+struct engine_result {
+  std::string name;
+  std::vector<policy_result> policies;
+};
+
+} // namespace
+
+int main() {
+  using namespace buscrypt;
+  bench::banner("Tab. 8 — multi-master bus: aggregate throughput and per-master latency",
+                "Fig. 4 secure DMA as a first-class master; arbitration policies");
+
+  const bytes image = bench::firmware_image(64 * 1024, 0x5EED);
+  constexpr sim::arb_policy kPolicies[] = {sim::arb_policy::round_robin,
+                                           sim::arb_policy::fixed_priority};
+
+  std::vector<engine_result> results;
+  for (edu::engine_kind kind : edu::all_engines()) {
+    engine_result er;
+    er.name = std::string(edu::engine_name(kind));
+    const auto cast = full_cast(kind == edu::engine_kind::inline_keyslot);
+    for (const sim::arb_policy policy : kPolicies) {
+      policy_result pr;
+      pr.policy = policy;
+      for (std::size_t n = 1; n <= cast.size(); ++n) {
+        edu::secure_soc soc(kind, multimaster_soc());
+        soc.load_image(0, image);
+        edu::multi_master_config mm;
+        mm.policy = policy;
+        mm.window_txns = kWindowTxns;
+        mm.starvation_limit =
+            policy == sim::arb_policy::fixed_priority ? kStarvationLimit : 0;
+        const std::vector<edu::master_desc> subset(cast.begin(), cast.begin() + n);
+        pr.runs.push_back({n, soc.run_multi_master(subset, mm)});
+      }
+      er.policies.push_back(std::move(pr));
+    }
+    results.push_back(std::move(er));
+  }
+
+  // Aggregate throughput vs master count, per policy.
+  for (std::size_t p = 0; p < 2; ++p) {
+    table t({"engine", "B/cyc x1", "B/cyc x2", "B/cyc x3", "B/cyc x4",
+             "periph lat x4", "cpu max-wait x4"});
+    for (const engine_result& er : results) {
+      const policy_result& pr = er.policies[p];
+      const sim::arbiter_stats& four = pr.runs[3].stats;
+      t.add_row({er.name, table::num(pr.runs[0].stats.bytes_per_cycle(), 4),
+                 table::num(pr.runs[1].stats.bytes_per_cycle(), 4),
+                 table::num(pr.runs[2].stats.bytes_per_cycle(), 4),
+                 table::num(pr.runs[3].stats.bytes_per_cycle(), 4),
+                 table::num(four.masters[3].avg_txn_latency(), 0),
+                 table::num(static_cast<unsigned long long>(four.masters[0].max_wait_streak))});
+    }
+    std::printf("policy: %s\n%s\n",
+                std::string(sim::arb_policy_name(kPolicies[p])).c_str(),
+                t.str().c_str());
+  }
+  std::printf("masters join in order cpu, dma0, dma1, periph; %u banks, windows\n"
+              "of %zu txns, fixed-priority ages at %llu rounds. Keyslot DMA\n"
+              "masters run in private per-master protection domains.\n",
+              kBanks, kWindowTxns,
+              static_cast<unsigned long long>(kStarvationLimit));
+
+  std::FILE* json = std::fopen("BENCH_multimaster.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_multimaster.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"tab8_multimaster\",\n  \"banks\": %u,\n"
+               "  \"window_txns\": %zu,\n  \"starvation_limit\": %llu,\n"
+               "  \"engines\": [\n",
+               kBanks, kWindowTxns, static_cast<unsigned long long>(kStarvationLimit));
+  for (std::size_t e = 0; e < results.size(); ++e) {
+    const engine_result& er = results[e];
+    std::fprintf(json, "    {\"engine\": \"%s\", \"policies\": [\n", er.name.c_str());
+    for (std::size_t p = 0; p < er.policies.size(); ++p) {
+      const policy_result& pr = er.policies[p];
+      std::fprintf(json, "      {\"policy\": \"%s\", \"runs\": [\n",
+                   std::string(sim::arb_policy_name(pr.policy)).c_str());
+      for (std::size_t r = 0; r < pr.runs.size(); ++r) {
+        const run_result& run = pr.runs[r];
+        std::fprintf(json,
+                     "        {\"masters\": %zu, \"bytes_per_cycle\": %.6f, "
+                     "\"total_cycles\": %llu, \"per_master\": [",
+                     run.masters, run.stats.bytes_per_cycle(),
+                     static_cast<unsigned long long>(run.stats.total_cycles));
+        for (std::size_t m = 0; m < run.stats.masters.size(); ++m) {
+          const sim::master_stats& ms = run.stats.masters[m];
+          std::fprintf(json,
+                       "%s{\"name\": \"%s\", \"bytes\": %llu, "
+                       "\"avg_latency\": %.1f, \"max_wait_streak\": %llu}",
+                       m == 0 ? "" : ", ", ms.name.c_str(),
+                       static_cast<unsigned long long>(ms.bytes),
+                       ms.avg_txn_latency(),
+                       static_cast<unsigned long long>(ms.max_wait_streak));
+        }
+        std::fprintf(json, "]}%s\n", r + 1 == pr.runs.size() ? "" : ",");
+      }
+      std::fprintf(json, "      ]}%s\n", p + 1 == er.policies.size() ? "" : ",");
+    }
+    std::fprintf(json, "    ]}%s\n", e + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_multimaster.json\n");
+  return 0;
+}

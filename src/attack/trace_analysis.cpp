@@ -1,26 +1,27 @@
 #include "attack/trace_analysis.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 namespace buscrypt::attack {
 
-trace_profile profile_bus_trace(const sim::recording_probe& probe,
-                                std::size_t line_size, std::size_t max_period) {
-  trace_profile out;
-  if (line_size == 0) return out;
+namespace {
 
+/// Accumulates one profile beat by beat; finish() runs the whole-trace
+/// analyses (hot spot, loop period). Lets the per-master breakdown make a
+/// single pass over the probe log however many masters it carries.
+struct profile_builder {
+  trace_profile p;
   std::unordered_map<addr_t, u64> census;
   std::vector<addr_t> read_lines;
-  read_lines.reserve(probe.size());
 
-  for (std::size_t i = 0; i < probe.size(); ++i) {
-    const sim::bus_beat& beat = probe[i];
+  void add(const sim::bus_beat& beat, std::size_t line_size) {
     const addr_t line = beat.addr - beat.addr % line_size;
     if (beat.write) {
-      ++out.write_beats;
+      ++p.write_beats;
     } else {
-      ++out.read_beats;
+      ++p.read_beats;
       // Collapse the beats of one burst into a single line visit so the
       // period is measured in lines, not bus beats.
       if (read_lines.empty() || read_lines.back() != line)
@@ -28,29 +29,99 @@ trace_profile profile_bus_trace(const sim::recording_probe& probe,
     }
     ++census[line];
   }
-  out.distinct_lines = census.size();
-  for (const auto& [line, hits] : census) {
-    if (hits > out.hottest_hits) {
-      out.hottest_hits = hits;
-      out.hottest_line = line;
-    }
-  }
 
-  // Loop detection: smallest period p such that >= 90% of positions agree
-  // with their p-shifted neighbour.
-  const std::size_t n = read_lines.size();
-  if (n >= 16) {
-    for (std::size_t p = 1; p <= max_period && p * 2 <= n; ++p) {
-      std::size_t agree = 0;
-      const std::size_t checks = n - p;
-      for (std::size_t i = 0; i < checks; ++i)
-        if (read_lines[i] == read_lines[i + p]) ++agree;
-      if (static_cast<double>(agree) >= 0.9 * static_cast<double>(checks)) {
-        out.loop_period = p;
-        break;
+  [[nodiscard]] trace_profile finish(std::size_t max_period) {
+    p.distinct_lines = census.size();
+    for (const auto& [line, hits] : census) {
+      if (hits > p.hottest_hits) {
+        p.hottest_hits = hits;
+        p.hottest_line = line;
       }
     }
+    // Loop detection: smallest period q such that >= 90% of positions
+    // agree with their q-shifted neighbour.
+    const std::size_t n = read_lines.size();
+    if (n >= 16) {
+      for (std::size_t q = 1; q <= max_period && q * 2 <= n; ++q) {
+        std::size_t agree = 0;
+        const std::size_t checks = n - q;
+        for (std::size_t i = 0; i < checks; ++i)
+          if (read_lines[i] == read_lines[i + q]) ++agree;
+        if (static_cast<double>(agree) >= 0.9 * static_cast<double>(checks)) {
+          p.loop_period = q;
+          break;
+        }
+      }
+    }
+    return p;
   }
+};
+
+/// One pass over the probe, keeping only the beats \p master drove — or
+/// every beat when the filter is the reserved sim::any_master sentinel
+/// (which the arbiter guarantees never appears on the bus as a real id).
+trace_profile profile_filtered(const sim::recording_probe& probe,
+                               std::size_t line_size, std::size_t max_period,
+                               sim::master_id master) {
+  if (line_size == 0) return {};
+  profile_builder b;
+  b.read_lines.reserve(probe.size());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const sim::bus_beat& beat = probe[i];
+    if (master != sim::any_master && beat.master != master) continue;
+    b.add(beat, line_size);
+  }
+  return b.finish(max_period);
+}
+
+} // namespace
+
+trace_profile profile_bus_trace(const sim::recording_probe& probe,
+                                std::size_t line_size, std::size_t max_period) {
+  return profile_filtered(probe, line_size, max_period, sim::any_master);
+}
+
+std::vector<sim::master_id> masters_in_trace(const sim::recording_probe& probe) {
+  std::vector<sim::master_id> ids;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const sim::master_id m = probe[i].master;
+    if (std::find(ids.begin(), ids.end(), m) == ids.end()) ids.push_back(m);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+trace_profile profile_master_trace(const sim::recording_probe& probe,
+                                   sim::master_id master, std::size_t line_size,
+                                   std::size_t max_period) {
+  return profile_filtered(probe, line_size, max_period, master);
+}
+
+std::vector<std::pair<sim::master_id, trace_profile>>
+per_master_profiles(const sim::recording_probe& probe, std::size_t line_size,
+                    std::size_t max_period) {
+  std::vector<std::pair<sim::master_id, trace_profile>> out;
+  if (line_size == 0) return out;
+  // Single pass: bucket beats into one builder per master as they stream
+  // by (probe logs from throughput runs hold millions of beats; few
+  // masters, so the bucket scan is cheap).
+  std::vector<std::pair<sim::master_id, profile_builder>> builders;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const sim::bus_beat& beat = probe[i];
+    profile_builder* b = nullptr;
+    for (auto& [id, builder] : builders)
+      if (id == beat.master) {
+        b = &builder;
+        break;
+      }
+    if (b == nullptr) b = &builders.emplace_back(beat.master, profile_builder{}).second;
+    b->add(beat, line_size);
+  }
+  std::sort(builders.begin(), builders.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.reserve(builders.size());
+  for (auto& [id, builder] : builders)
+    out.emplace_back(id, builder.finish(max_period));
   return out;
 }
 

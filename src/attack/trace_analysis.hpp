@@ -6,8 +6,16 @@
 /// structure — "observing ... system execution can be done through simple
 /// board-level probing" (Section 1). These analyses quantify what stays
 /// visible through every EDU in the library.
+///
+/// On a multi-master bus the master-id lines (AHB HMASTER-style, carried
+/// on sim::bus_beat::master) leak *more*: an attacker separates the CPU's
+/// fetch stream from the DMA engine's bulk transfers and the peripheral's
+/// polling loop, profiling each master's working set independently instead
+/// of conflating the interleaved streams.
 
 #include "sim/bus.hpp"
+
+#include <vector>
 
 namespace buscrypt::attack {
 
@@ -26,10 +34,27 @@ struct trace_profile {
   }
 };
 
-/// Profile a recorded bus trace at \p line_size granularity. Loop period
-/// search is capped at \p max_period.
+/// Profile a recorded bus trace at \p line_size granularity, all masters
+/// conflated (the single-master view). Loop period search is capped at
+/// \p max_period.
 [[nodiscard]] trace_profile profile_bus_trace(const sim::recording_probe& probe,
                                               std::size_t line_size,
                                               std::size_t max_period = 2048);
+
+/// Distinct master ids observed in the trace, ascending.
+[[nodiscard]] std::vector<sim::master_id> masters_in_trace(const sim::recording_probe& probe);
+
+/// Profile only the beats \p master drove — per-master attribution of an
+/// interleaved multi-master trace.
+[[nodiscard]] trace_profile profile_master_trace(const sim::recording_probe& probe,
+                                                 sim::master_id master,
+                                                 std::size_t line_size,
+                                                 std::size_t max_period = 2048);
+
+/// One (master, profile) pair per master seen in the trace, ascending by
+/// master id — the full per-master breakdown an analyser produces.
+[[nodiscard]] std::vector<std::pair<sim::master_id, trace_profile>>
+per_master_profiles(const sim::recording_probe& probe, std::size_t line_size,
+                    std::size_t max_period = 2048);
 
 } // namespace buscrypt::attack

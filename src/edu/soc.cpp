@@ -159,14 +159,73 @@ bytes secure_soc::read_back(addr_t base, std::size_t len) {
 
 sim::run_stats secure_soc::run(const sim::workload& w) { return cpu_->run(w); }
 
-sim::throughput_stats secure_soc::run_throughput(const sim::workload& w,
-                                                 std::size_t batch_txns) {
-  // The txn stream bypasses the L1: write back any dirty lines a prior
-  // run() left behind (so a later flush() cannot clobber this run's data)
-  // and drop the rest, so a later run() refetches what this run rewrites.
+void secure_soc::prepare_txn_stream() {
   if (l1_) (void)l1_->flush_and_invalidate();
   if (l1i_) (void)l1i_->flush_and_invalidate();
   if (kind_ == engine_kind::secure_dma) (void)static_cast<dma_edu&>(*edu_).flush();
+}
+
+sim::arbiter_stats secure_soc::run_multi_master(std::span<const master_desc> masters,
+                                                const multi_master_config& mm) {
+  prepare_txn_stream();
+
+  // Per-master protection domains on the keyslot engine. Keys derive from
+  // the SoC seed and the domain base — not the master id — so a solo
+  // re-run of one descriptor encrypts its range identically. The guard
+  // tears every bound domain down on all exit paths: a throw mid-setup or
+  // mid-run must not leave regions owned by a dead run's master ids (the
+  // CPU would be silently firewalled out of them afterwards).
+  struct domain_guard {
+    engine::bus_encryption_engine* eng = nullptr;
+    std::vector<engine::bus_encryption_engine::context_id> ctxs;
+    ~domain_guard() {
+      if (eng != nullptr)
+        for (const auto ctx : ctxs) eng->destroy_context(ctx);
+    }
+  } domains;
+  if (kind_ == engine_kind::inline_keyslot) {
+    auto& adapter = static_cast<engine_edu&>(*edu_);
+    for (std::size_t i = 0; i < masters.size(); ++i) {
+      const master_desc& d = masters[i];
+      if (d.domain_len == 0) continue;
+      domains.eng = &adapter.engine();
+      rng key_rng(cfg_.key_seed ^ (0xD07A15ULL + d.domain_base));
+      const auto ctx = domains.eng->create_context(
+          {std::string(adapter.config().backend), key_rng.random_bytes(16),
+           adapter.config().data_unit_size});
+      domains.ctxs.push_back(ctx); // before bind: an alignment throw still tears down
+      domains.eng->bind_domain(static_cast<sim::master_id>(i), d.domain_base,
+                               d.domain_len, ctx);
+    }
+  }
+
+  std::vector<sim::bus_master> bus_masters;
+  bus_masters.reserve(masters.size());
+  for (std::size_t i = 0; i < masters.size(); ++i) {
+    const master_desc& d = masters[i];
+    sim::bus_master_config bc;
+    bc.id = static_cast<sim::master_id>(i);
+    bc.name = d.name.empty() ? std::string(master_kind_name(d.role)) : d.name;
+    bc.priority = d.priority;
+    bc.chunk = d.chunk != 0 ? d.chunk
+                            : (d.role == master_kind::dma ? 4 * cfg_.l1.line_size
+                                                          : cfg_.l1.line_size);
+    bus_masters.emplace_back(std::move(bc), d.work);
+  }
+
+  sim::bus_arbiter arbiter(*edu_, {mm.policy, mm.window_txns, mm.starvation_limit});
+  for (sim::bus_master& m : bus_masters) arbiter.add_master(m);
+  // Scalar-path beats (adapted EDUs, detours) are attributed per granted
+  // window; the arbiter restores cpu_master when the bus falls idle.
+  arbiter.set_grant_hook([this](sim::master_id m) { ext_.set_master(m); });
+  // The domain guard unwinds the run's mappings on return or throw; the
+  // ciphertext the domains wrote stays in DRAM.
+  return arbiter.run();
+}
+
+sim::throughput_stats secure_soc::run_throughput(const sim::workload& w,
+                                                 std::size_t batch_txns) {
+  prepare_txn_stream();
   const auto ops = sim::to_port_ops(w, cfg_.l1.line_size);
   if (batch_txns <= 1) return sim::issue_scalar(*edu_, ops, cfg_.l1.line_size);
   return sim::issue_batched(*edu_, ops, cfg_.l1.line_size, batch_txns);

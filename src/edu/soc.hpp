@@ -10,12 +10,14 @@
 #include "edu/edu.hpp"
 #include "edu/names.hpp"
 #include "sim/bus.hpp"
+#include "sim/bus_arbiter.hpp"
 #include "sim/cache.hpp"
 #include "sim/cpu.hpp"
 #include "sim/workload.hpp"
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace buscrypt::edu {
@@ -81,6 +83,48 @@ inline constexpr std::array<engine_kind, 16> all_engine_kinds = {
   return all_engine_kinds;
 }
 
+/// Role of a bus master in a multi-master scenario: sets the default
+/// display name and transaction granularity (a DMA engine moves whole
+/// bursts; CPU and peripheral traffic is line-granular).
+enum class master_kind : u8 { cpu, dma, peripheral };
+
+[[nodiscard]] constexpr std::string_view master_kind_name(master_kind k) noexcept {
+  switch (k) {
+    case master_kind::cpu: return "cpu";
+    case master_kind::dma: return "dma";
+    case master_kind::peripheral: return "periph";
+  }
+  return "?";
+}
+
+/// One master of a multi-master run: who it is, what it issues, and how
+/// the arbiter and the engine's protection domains should treat it.
+/// Master ids are assigned by position in the span handed to
+/// run_multi_master (index 0 = sim::cpu_master).
+struct master_desc {
+  master_kind role = master_kind::cpu;
+  std::string name;      ///< display name; role default when empty
+  sim::workload work;    ///< this master's request stream
+  unsigned priority = 0; ///< higher wins under fixed-priority arbitration
+  std::size_t chunk = 0; ///< txn granularity in bytes; 0 = role default
+                         ///< (L1 line; 4 lines for dma)
+  /// Keyslot engines only: bind [domain_base, domain_base + domain_len)
+  /// as this master's private protection domain under its own key,
+  /// derived deterministically from the SoC seed and domain_base (so a
+  /// solo re-run of the same descriptor produces identical ciphertext).
+  /// domain_len == 0 shares the SoC's default context. Ignored — traffic
+  /// stays on the shared mapping — for every non-keyslot engine.
+  addr_t domain_base = 0;
+  std::size_t domain_len = 0;
+};
+
+/// Arbitration knobs of a multi-master run (see sim::arbiter_config).
+struct multi_master_config {
+  sim::arb_policy policy = sim::arb_policy::round_robin;
+  std::size_t window_txns = 8;
+  u64 starvation_limit = 0; ///< fixed-priority aging bound; 0 = strict
+};
+
 struct soc_config {
   sim::cache_config l1{};
   sim::dram_timing mem_timing{};
@@ -115,6 +159,18 @@ class secure_soc {
   [[nodiscard]] sim::throughput_stats run_throughput(const sim::workload& w,
                                                      std::size_t batch_txns);
 
+  /// Drive the engine as a shared multi-master interconnect: each
+  /// descriptor becomes a sim::bus_master (id = its index) whose stream
+  /// is lowered at its chunk granularity, and a sim::bus_arbiter
+  /// time-multiplexes their windows onto the EDU under \p mm's policy.
+  /// Bus beats are tagged with the granted master's id; on the keyslot
+  /// engine, descriptors with domain_len > 0 get private per-master
+  /// protection domains (own derived key) for the duration of the run.
+  /// Like run_throughput, the stream bypasses the L1 (which is written
+  /// back and invalidated on entry).
+  [[nodiscard]] sim::arbiter_stats run_multi_master(std::span<const master_desc> masters,
+                                                    const multi_master_config& mm = {});
+
   /// Write all dirty state (cache lines, page buffers) back to DRAM.
   void flush();
 
@@ -132,6 +188,14 @@ class secure_soc {
   [[nodiscard]] const soc_config& config() const noexcept { return cfg_; }
 
  private:
+  /// Entry discipline shared by the direct-transaction drivers
+  /// (run_throughput, run_multi_master): the txn streams bypass the L1,
+  /// so write back any dirty lines a prior run() left behind (so a later
+  /// flush() cannot clobber this run's data) and drop the rest, so a
+  /// later run() refetches what this run rewrites; ditto the secure-DMA
+  /// page buffers.
+  void prepare_txn_stream();
+
   engine_kind kind_;
   soc_config cfg_;
   sim::dram dram_;

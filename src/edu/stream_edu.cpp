@@ -63,6 +63,7 @@ void stream_edu::submit(std::span<sim::mem_txn> batch) {
     sim::mem_txn lt;
     lt.id = txn.id;
     lt.op = txn.op;
+    lt.master = txn.master; // attribution rides down to the bus beats
     lt.segments.reserve(txn.segments.size());
     for (sim::txn_segment& seg : txn.segments) {
       const cycles p = pad_time(seg.addr, seg.data.size());

@@ -41,7 +41,16 @@ void bus_encryption_engine::map_region(addr_t base, std::size_t len, context_id 
     throw std::out_of_range("map_region: bad context id");
   if (ctx != no_context && base % contexts_[ctx].data_unit_size != 0)
     throw std::invalid_argument("map_region: base not data-unit aligned");
-  regions_.push_back({base, len, ctx});
+  regions_.push_back({base, len, ctx, any_master});
+}
+
+void bus_encryption_engine::bind_domain(master_id owner, addr_t base, std::size_t len,
+                                        context_id ctx) {
+  if (owner == any_master)
+    throw std::invalid_argument("bind_domain: owner must be a concrete master "
+                                "(use map_region for shared mappings)");
+  map_region(base, len, ctx); // same validation + later-mapping-wins order
+  regions_.back().owner = owner;
 }
 
 bus_encryption_engine::context_id
@@ -54,8 +63,18 @@ bus_encryption_engine::context_at(addr_t addr) const noexcept {
 
 std::pair<bus_encryption_engine::context_id, std::size_t>
 bus_encryption_engine::span_at(addr_t addr, std::size_t len) const noexcept {
+  // The trusted, ownership-blind resolution (offline install/readback):
+  // same span splitting, access check discarded.
+  const access_span s = span_for(any_master, addr, len);
+  return {s.ctx, s.len};
+}
+
+bus_encryption_engine::access_span
+bus_encryption_engine::span_for(master_id m, addr_t addr, std::size_t len) const noexcept {
   // Winning region = newest one containing addr (its index bounds which
-  // later mappings can still override parts of the span).
+  // later mappings can still override parts of the span). Ownership rides
+  // the region, so domain boundaries and context boundaries split spans
+  // identically.
   std::size_t win = regions_.size();
   for (std::size_t i = regions_.size(); i-- > 0;) {
     const region& r = regions_[i];
@@ -65,15 +84,49 @@ bus_encryption_engine::span_at(addr_t addr, std::size_t len) const noexcept {
     }
   }
   addr_t end = addr + len;
-  context_id ctx = no_context;
+  access_span out;
   if (win != regions_.size()) {
-    ctx = regions_[win].ctx;
-    end = std::min<addr_t>(end, regions_[win].base + regions_[win].len);
+    const region& r = regions_[win];
+    out.ctx = r.ctx;
+    // Only the region's owner (or anyone, on a shared mapping) gets in.
+    // any_master is never trusted here: owners are always concrete ids,
+    // so a request forged with the sentinel can match no owned region —
+    // the trusted ownership-blind view exists only behind span_at(),
+    // which the untrusted datapaths never call with attacker-controlled
+    // masters.
+    out.allowed = r.owner == any_master || r.owner == m;
+    end = std::min<addr_t>(end, r.base + r.len);
   }
   // Any newer region starting inside (addr, end) changes the context there.
   for (std::size_t j = (win == regions_.size() ? 0 : win + 1); j < regions_.size(); ++j)
     if (regions_[j].base > addr && regions_[j].base < end) end = regions_[j].base;
-  return {ctx, static_cast<std::size_t>(end - addr)};
+  out.len = static_cast<std::size_t>(end - addr);
+  return out;
+}
+
+domain_stats bus_encryption_engine::domain(master_id m) const noexcept {
+  for (const auto& [id, st] : domains_)
+    if (id == m) return st;
+  return {};
+}
+
+void bus_encryption_engine::note_domain(master_id m, bool is_write, std::size_t n,
+                                        bool fault) {
+  domain_stats* st = nullptr;
+  for (auto& [id, s] : domains_)
+    if (id == m) {
+      st = &s;
+      break;
+    }
+  if (st == nullptr) st = &domains_.emplace_back(m, domain_stats{}).second;
+  if (fault) {
+    ++st->faults;
+    ++stats_.domain_faults;
+    return;
+  }
+  if (is_write) ++st->writes;
+  else ++st->reads;
+  st->bytes += n;
 }
 
 const keyslot_key& bus_encryption_engine::context_key(context_id ctx) const {
@@ -184,15 +237,22 @@ cycles bus_encryption_engine::read(addr_t addr, std::span<u8> out) {
   cycles t = 0;
   std::size_t off = 0;
   while (off < out.size()) {
-    const auto [ctx, n] = span_at(addr + off, out.size() - off);
-    std::span<u8> part = out.subspan(off, n);
-    if (ctx == no_context) {
+    const access_span s = span_for(active_master_, addr + off, out.size() - off);
+    std::span<u8> part = out.subspan(off, s.len);
+    if (!s.allowed) {
+      // Firewall denial: bus-error fill, never the domain's plaintext,
+      // and the request is blocked on-chip (no lower traffic to probe).
+      std::fill(part.begin(), part.end(), fault_fill);
+      note_domain(active_master_, /*is_write=*/false, s.len, /*fault=*/true);
+      t += cfg_.fault_cycles;
+    } else if (s.ctx == no_context) {
       t += lower_->read(addr + off, part);
       ++stats_.passthrough;
     } else {
-      t += crypt_span(ctx, addr + off, part, /*is_write=*/false, true);
+      t += crypt_span(s.ctx, addr + off, part, /*is_write=*/false, true);
+      note_domain(active_master_, /*is_write=*/false, s.len, /*fault=*/false);
     }
-    off += n;
+    off += s.len;
   }
   return t;
 }
@@ -202,16 +262,22 @@ cycles bus_encryption_engine::write(addr_t addr, std::span<const u8> in) {
   cycles t = 0;
   std::size_t off = 0;
   while (off < in.size()) {
-    const auto [ctx, n] = span_at(addr + off, in.size() - off);
-    if (ctx == no_context) {
-      t += lower_->write(addr + off, in.subspan(off, n));
+    const access_span s = span_for(active_master_, addr + off, in.size() - off);
+    if (!s.allowed) {
+      // Denied writes are dropped whole: the owning domain's ciphertext
+      // (and plaintext) is untouched.
+      note_domain(active_master_, /*is_write=*/true, s.len, /*fault=*/true);
+      t += cfg_.fault_cycles;
+    } else if (s.ctx == no_context) {
+      t += lower_->write(addr + off, in.subspan(off, s.len));
       ++stats_.passthrough;
     } else {
       bytes tmp(in.begin() + static_cast<std::ptrdiff_t>(off),
-                in.begin() + static_cast<std::ptrdiff_t>(off + n));
-      t += crypt_span(ctx, addr + off, tmp, /*is_write=*/true, true);
+                in.begin() + static_cast<std::ptrdiff_t>(off + s.len));
+      t += crypt_span(s.ctx, addr + off, tmp, /*is_write=*/true, true);
+      note_domain(active_master_, /*is_write=*/true, s.len, /*fault=*/false);
     }
-    off += n;
+    off += s.len;
   }
   return t;
 }
@@ -311,25 +377,26 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     engine_pre = 0;
   };
 
-  std::vector<context_id> seg_ctx; // eligibility-pass span_at results, reused below
+  std::vector<context_id> seg_ctx; // eligibility-pass span_for results, reused below
   for (sim::mem_txn& txn : batch) {
     // The pipelined path handles whole data units inside one context; a
-    // txn needing RMW, region splits or passthrough detours via the
-    // scalar datapath (which counts its own reads/writes).
+    // txn needing RMW, region splits, passthrough or a domain denial
+    // detours via the scalar datapath (which counts its own reads/writes
+    // and serves the fault fill under the txn's master).
     seg_ctx.clear();
     bool eligible = !txn.segments.empty();
     for (const sim::txn_segment& seg : txn.segments) {
-      const auto [ctx, n] = span_at(seg.addr, seg.data.size());
-      if (ctx == no_context || n != seg.data.size()) {
+      const access_span s = span_for(txn.master, seg.addr, seg.data.size());
+      if (!s.allowed || s.ctx == no_context || s.len != seg.data.size()) {
         eligible = false;
         break;
       }
-      const std::size_t du = contexts_[ctx].data_unit_size;
+      const std::size_t du = contexts_[s.ctx].data_unit_size;
       if (seg.addr % du != 0 || seg.data.size() % du != 0) {
         eligible = false;
         break;
       }
-      seg_ctx.push_back(ctx);
+      seg_ctx.push_back(s.ctx);
     }
 
     if (eligible) {
@@ -360,6 +427,16 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     if (!eligible) {
       flush_lower();
       live.clear(); // release this batch's pins: the detour leases per request
+      // The scalar datapath serves the detour as the txn's master, so
+      // domain checks, fault fills and per-domain stats stay correct.
+      // RAII swap: a throw mid-detour (e.g. pinned pool with fallback
+      // off) must not leave the firewall subject stuck on this master.
+      struct scoped_master {
+        master_id* slot;
+        master_id prev;
+        scoped_master(master_id& s, master_id m) : slot(&s), prev(s) { s = m; }
+        ~scoped_master() { *slot = prev; }
+      } swap(active_master_, txn.master);
       for (sim::txn_segment& seg : txn.segments)
         clock += txn.is_write() ? write(seg.addr, std::span<const u8>(seg.data))
                                 : read(seg.addr, seg.data);
@@ -374,12 +451,14 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     sim::mem_txn lt;
     lt.id = txn.id;
     lt.op = txn.op;
+    lt.master = txn.master; // attribution rides down to the bus beats
     lt.segments.reserve(txn.segments.size());
     for (std::size_t si = 0; si < txn.segments.size(); ++si) {
       sim::txn_segment& seg = txn.segments[si];
       const context_id ctx = seg_ctx[si];
       const auto [kc, fallback] = resolve(ctx);
       const keyslot_key& k = contexts_[ctx];
+      note_domain(txn.master, txn.is_write(), seg.data.size(), /*fault=*/false);
       if (txn.is_write()) {
         staged.emplace_back(seg.data.begin(), seg.data.end());
         const cycles c = transform_units(*kc, k, seg.addr, staged.back(),

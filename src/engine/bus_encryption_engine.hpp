@@ -13,6 +13,16 @@
 /// Multiple address regions may be mapped to different contexts (secure
 /// kernel vs application vs DMA buffer), which is what a small slot pool
 /// with LRU reuse models.
+///
+/// On a multi-master interconnect the engine additionally acts as the
+/// hardware firewall (Cotret et al.): a region may be *bound to one
+/// master* (bind_domain), making protection a per-master property. A
+/// request from any other master is denied on-chip — reads return the
+/// bus-error fill pattern instead of plaintext, writes are dropped, no
+/// ciphertext ever reaches the external bus — and the denial is counted
+/// in that master's domain_stats. Domains with different keys share the
+/// one keyslot pool through their contexts, exactly as concurrent masters
+/// share the hardware.
 
 #include "engine/keyslot_manager.hpp"
 #include "sim/memory_port.hpp"
@@ -34,6 +44,9 @@ struct engine_config {
   /// Cycle multiplier for the fallback path (software is slower than the
   /// inline hardware datapath).
   cycles fallback_penalty = 4;
+  /// Cycles a denied cross-domain access costs (the firewall's bus-error
+  /// response). Denials never touch the lower port.
+  cycles fault_cycles = 8;
 };
 
 /// Per-engine counters.
@@ -47,14 +60,31 @@ struct engine_stats {
   u64 batches = 0;        ///< submit() calls served
   u64 batched_txns = 0;   ///< transactions carried by those batches
   u64 batch_native = 0;   ///< transactions taken by the pipelined batch path
+  u64 domain_faults = 0;  ///< cross-domain accesses denied by the firewall
   cycles crypto_cycles = 0;
+};
+
+/// Per-master counters of protected-region traffic (accesses through
+/// mapped regions, by the master that issued them) plus denials.
+struct domain_stats {
+  u64 reads = 0;   ///< protected spans read by this master
+  u64 writes = 0;  ///< protected spans written by this master
+  u64 bytes = 0;   ///< payload bytes through protected regions
+  u64 faults = 0;  ///< accesses denied (region bound to another master)
 };
 
 /// Inline encryption stage between the cache level and external memory.
 class bus_encryption_engine final : public sim::memory_port {
  public:
   using context_id = std::size_t;
+  using master_id = sim::master_id;
   static constexpr context_id no_context = static_cast<context_id>(-1);
+  /// Region owner sentinel: any master may access (a shared mapping).
+  /// The one reserved id from sim/mem_txn.hpp — never a real master.
+  static constexpr master_id any_master = sim::any_master;
+  /// Fill byte a denied read returns — the bus-error pattern a firewall
+  /// drives instead of data (never the region's plaintext).
+  static constexpr u8 fault_fill = 0xFF;
 
   /// \param lower the external path (bus + DRAM); referenced, not owned.
   /// \param slots shared keyslot pool; referenced, not owned.
@@ -69,17 +99,47 @@ class bus_encryption_engine final : public sim::memory_port {
   /// Drop a context and evict its key from the slot pool if idle.
   void destroy_context(context_id ctx);
 
-  /// Protect [base, base+len) with \p ctx. Later mappings win on overlap.
-  /// Requests to unmapped addresses pass through in plaintext.
+  /// Protect [base, base+len) with \p ctx, accessible to every master.
+  /// Later mappings win on overlap. Requests to unmapped addresses pass
+  /// through in plaintext.
   void map_region(addr_t base, std::size_t len, context_id ctx);
 
-  /// The context protecting \p addr, or no_context.
+  /// Protect [base, base+len) with \p ctx as \p owner's private domain:
+  /// only transactions tagged with that master id may touch it. Like
+  /// map_region, later mappings win — a domain binding carves its range
+  /// out of any older shared mapping, and the denied range never falls
+  /// through to the older context (that would leak plaintext).
+  void bind_domain(master_id owner, addr_t base, std::size_t len, context_id ctx);
+
+  /// The context protecting \p addr, or no_context (ownership-blind).
   [[nodiscard]] context_id context_at(addr_t addr) const noexcept;
 
   /// The context at \p addr and the length of the longest prefix of
-  /// [addr, addr+len) it uniformly covers. One pass over the region list.
+  /// [addr, addr+len) it uniformly covers, ignoring domain ownership
+  /// (the offline/trusted view). One pass over the region list.
   [[nodiscard]] std::pair<context_id, std::size_t> span_at(addr_t addr,
                                                            std::size_t len) const noexcept;
+
+  /// One uniform span of a request as master \p m sees it: the covering
+  /// context, the prefix length it uniformly covers (splitting at both
+  /// context and ownership boundaries), and whether \p m is allowed in.
+  struct access_span {
+    context_id ctx = no_context;
+    std::size_t len = 0;
+    bool allowed = true;
+  };
+  [[nodiscard]] access_span span_for(master_id m, addr_t addr,
+                                     std::size_t len) const noexcept;
+
+  /// Master whose scalar read()/write() calls are being served: always
+  /// sim::cpu_master, except while submit() detours a tagged transaction
+  /// through the scalar datapath (the batch path tags transactions, so
+  /// there is deliberately no public setter — the firewall subject cannot
+  /// be switched from outside).
+  [[nodiscard]] master_id active_master() const noexcept { return active_master_; }
+
+  /// Per-master traffic/denial counters (empty stats for unseen masters).
+  [[nodiscard]] domain_stats domain(master_id m) const noexcept;
 
   // --- memory_port: the timed, functional datapath -------------------------
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
@@ -113,6 +173,7 @@ class bus_encryption_engine final : public sim::memory_port {
     addr_t base = 0;
     std::size_t len = 0;
     context_id ctx = no_context;
+    master_id owner = any_master; ///< any_master = shared mapping
   };
 
   /// A keyslot held for the duration of one request or one batch, or the
@@ -143,12 +204,17 @@ class bus_encryption_engine final : public sim::memory_port {
                                        addr_t unit_base, std::span<u8> buf,
                                        bool encrypt, bool fallback, bool charge);
 
+  /// Record protected-region traffic (or a denial) against \p m.
+  void note_domain(master_id m, bool is_write, std::size_t n, bool fault);
+
   sim::memory_port* lower_;
   keyslot_manager* slots_;
   engine_config cfg_;
   std::vector<keyslot_key> contexts_;
   std::vector<bool> context_live_;
   std::vector<region> regions_;
+  std::vector<std::pair<master_id, domain_stats>> domains_; ///< few masters: linear
+  master_id active_master_ = sim::cpu_master;
   engine_stats stats_;
 };
 

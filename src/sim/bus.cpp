@@ -26,13 +26,14 @@ const std::vector<bus_beat>& recording_probe::log() const {
 }
 
 void external_memory::emit_beats(addr_t addr, std::span<const u8> data, bool write,
-                                 cycles at) {
+                                 cycles at, master_id master) {
   if (probes_.empty()) return;
   const unsigned bus_bytes = dram_->timing().bus_bytes;
   for (std::size_t off = 0; off < data.size(); off += bus_bytes) {
     bus_beat beat;
     beat.addr = addr + off;
     beat.write = write;
+    beat.master = master;
     const std::size_t n = std::min<std::size_t>(bus_bytes, data.size() - off);
     beat.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
                      data.begin() + static_cast<std::ptrdiff_t>(off + n));
@@ -48,7 +49,7 @@ cycles external_memory::read(addr_t addr, std::span<u8> out) {
   // single timebase.
   const cycles first = dram_->first_latency(addr);
   const cycles t = first + dram_->burst_cycles(out.size());
-  emit_beats(addr, out, /*write=*/false, now_ + first);
+  emit_beats(addr, out, /*write=*/false, now_ + first, scalar_master_);
   now_ += t;
   bytes_read_ += out.size();
   return t;
@@ -58,7 +59,7 @@ cycles external_memory::write(addr_t addr, std::span<const u8> in) {
   dram_->write_bytes(addr, in);
   const cycles first = dram_->first_latency(addr);
   const cycles t = first + dram_->burst_cycles(in.size());
-  emit_beats(addr, in, /*write=*/true, now_ + first);
+  emit_beats(addr, in, /*write=*/true, now_ + first, scalar_master_);
   now_ += t;
   bytes_written_ += in.size();
   return t;
@@ -88,7 +89,7 @@ void external_memory::submit(std::span<mem_txn> batch) {
       const cycles done = bus_start + dram_->burst_cycles(seg.data.size());
       bank_ready_[b] = done;
       bus_free = done;
-      emit_beats(seg.addr, seg.data, txn.is_write(), bus_start);
+      emit_beats(seg.addr, seg.data, txn.is_write(), bus_start, txn.master);
       last = std::max(last, done);
     }
     txn.complete_cycle = pending_txn_cycles_ + (last - start);

@@ -12,11 +12,15 @@
 
 namespace buscrypt::sim {
 
-/// One observed bus beat, as a logic analyser would capture it.
+/// One observed bus beat, as a logic analyser would capture it. Real
+/// multi-master buses drive the granted master's id on dedicated lines
+/// (AHB HMASTER); the tag is what lets an analyser — or an attacker —
+/// attribute traffic per master instead of conflating the streams.
 struct bus_beat {
   cycles at = 0;     ///< simulated time of the beat
   addr_t addr = 0;   ///< address driven on the address lines
   bool write = false;
+  master_id master = cpu_master; ///< bus master that drove the beat
   bytes data;        ///< data lines for this beat (bus_bytes wide or less)
 };
 
@@ -96,6 +100,13 @@ class external_memory final : public memory_port {
   /// Attach an observer; not owned. Multiple probes allowed.
   void attach(bus_probe& probe) { probes_.push_back(&probe); }
 
+  /// Master driving subsequent *scalar* traffic (batched transactions
+  /// carry their own tag). An arbiter sets this per granted window so
+  /// beats emitted by scalar-path EDUs are attributed correctly; it
+  /// defaults to — and should be restored to — sim::cpu_master.
+  void set_master(master_id m) noexcept { scalar_master_ = m; }
+  [[nodiscard]] master_id current_master() const noexcept { return scalar_master_; }
+
   /// Bytes moved (for bandwidth accounting, e.g. the compression bench).
   [[nodiscard]] u64 bytes_read() const noexcept { return bytes_read_; }
   [[nodiscard]] u64 bytes_written() const noexcept { return bytes_written_; }
@@ -103,11 +114,13 @@ class external_memory final : public memory_port {
   [[nodiscard]] dram& backing() noexcept { return *dram_; }
 
  private:
-  void emit_beats(addr_t addr, std::span<const u8> data, bool write, cycles at);
+  void emit_beats(addr_t addr, std::span<const u8> data, bool write, cycles at,
+                  master_id master);
 
   dram* dram_;
   std::vector<bus_probe*> probes_;
   cycles now_ = 0;
+  master_id scalar_master_ = cpu_master; ///< tag for scalar-path beats
   std::vector<cycles> bank_ready_; ///< per-bank busy-until, absolute time
   u64 bytes_read_ = 0;
   u64 bytes_written_ = 0;

@@ -1,0 +1,104 @@
+#pragma once
+/// \file bus_arbiter.hpp
+/// The interconnect arbiter: time-multiplexes N bus masters onto one
+/// shared downstream memory_port (the EDU in front of the external bus).
+/// Each grant hands the winning master a window of `window_txns`
+/// transactions, submitted as one batch — so everything the transaction
+/// pipeline already models (multi-bank DRAM overlap, keystream parallel
+/// to the fetch) composes per window — and the windows of different
+/// masters interleave on the shared path exactly as bursts of an AHB/AXI
+/// arbiter would.
+///
+/// Two grant policies, the classic pair:
+///  - round_robin: rotate among masters with pending work. Fair by
+///    construction — no master waits more than (masters - 1) rounds.
+///  - fixed_priority: highest priority wins every round. Latency-optimal
+///    for the favoured master and starvation-prone for everyone else;
+///    `starvation_limit` adds aging — a master skipped that many
+///    consecutive rounds pre-empts priority. Starved masters drain one
+///    per round (longest streak first), so the worst-case streak is
+///    starvation_limit + masters − 2, not the limit itself. 0 keeps
+///    strict priority (unbounded).
+
+#include "sim/bus_master.hpp"
+#include "sim/memory_port.hpp"
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+namespace buscrypt::sim {
+
+/// Grant policy of the shared bus.
+enum class arb_policy : u8 {
+  round_robin,    ///< rotate among pending masters (fair, bounded wait)
+  fixed_priority, ///< highest bus_master_config::priority wins (starvation-prone)
+};
+
+[[nodiscard]] constexpr std::string_view arb_policy_name(arb_policy p) noexcept {
+  switch (p) {
+    case arb_policy::round_robin: return "round-robin";
+    case arb_policy::fixed_priority: return "fixed-priority";
+  }
+  return "?";
+}
+
+struct arbiter_config {
+  arb_policy policy = arb_policy::round_robin;
+  std::size_t window_txns = 8; ///< transactions per granted bus window
+  /// fixed_priority only: a master that has waited this many consecutive
+  /// rounds with pending work pre-empts priority (aging). When several
+  /// masters starve at once they are served longest-streak-first, one
+  /// per round, so a streak can overshoot by up to masters − 2 rounds.
+  /// 0 = strict priority, unbounded starvation.
+  u64 starvation_limit = 0;
+};
+
+/// What one multi-master run measured. Aggregate throughput is
+/// bytes/total_cycles; fairness shows up in the per-master breakdown.
+struct arbiter_stats {
+  u64 rounds = 0;        ///< grant decisions taken
+  u64 txns = 0;          ///< transactions carried, all masters
+  u64 bytes = 0;         ///< payload bytes moved, all masters
+  cycles total_cycles = 0;
+  std::vector<master_stats> masters; ///< one entry per master, add order
+
+  [[nodiscard]] double bytes_per_cycle() const noexcept {
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(bytes) / static_cast<double>(total_cycles);
+  }
+};
+
+/// The arbiter. Owns neither the port nor the masters; drives the whole
+/// contention to completion in run().
+class bus_arbiter {
+ public:
+  bus_arbiter(memory_port& port, arbiter_config cfg);
+
+  /// Register a master (referenced, not owned). Grant order ties break
+  /// toward earlier registration.
+  void add_master(bus_master& m);
+
+  /// Called with the winning master's id at each grant, before its window
+  /// is submitted — the hook external_memory attribution uses to tag
+  /// scalar-path beats (see external_memory::set_master).
+  void set_grant_hook(std::function<void(master_id)> hook);
+
+  /// Arbitrate until every master's stream is drained; returns the
+  /// aggregate and per-master accounting. The downstream port must have
+  /// no undrained submissions when this is called.
+  [[nodiscard]] arbiter_stats run();
+
+ private:
+  /// Index of the next master to grant, or -1 when all streams are dry.
+  [[nodiscard]] int pick();
+
+  memory_port* port_;
+  arbiter_config cfg_;
+  std::vector<bus_master*> masters_;
+  std::function<void(master_id)> grant_hook_;
+  std::size_t rr_next_ = 0; ///< round-robin rotation cursor
+};
+
+} // namespace buscrypt::sim

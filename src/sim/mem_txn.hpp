@@ -8,6 +8,28 @@
 /// an engine express the survey's overlap story — keystream generated in
 /// parallel with the fetch (Fig. 2a), pipelined AES (XOM) — instead of
 /// serialising every access through a scalar read/write call.
+///
+/// \section txn_contract The submit/drain transaction contract
+///
+/// Every port that accepts `mem_txn` batches (see sim::memory_port)
+/// honours the same invariants, which the pipeline tests assert:
+///
+/// 1. **Functional order is submission order.** The byte effects of a
+///    batch are exactly those of issuing its transactions — segment by
+///    segment — through scalar read()/write() calls in batch order. A
+///    read observes every earlier write in the same batch; only *timing*
+///    may overlap between transactions.
+/// 2. **Completion stamps are relative and monotone.** `complete_cycle`
+///    is filled in by the serving port, measured from that port's last
+///    drain() (not from simulation start). Within one submit() call the
+///    stamps are non-decreasing in submission order (in-order retirement),
+///    and no stamp exceeds the makespan the next drain() returns.
+/// 3. **Scalar fallback is always legal.** A port with no native batch
+///    path may serve a batch through its own scalar read()/write() (the
+///    memory_port default adapter does exactly this). The result must be
+///    byte-identical; the makespan then equals the sum of the scalar
+///    latencies — batching is a timing optimisation, never a functional
+///    one.
 
 #include "common/types.hpp"
 
@@ -15,6 +37,21 @@
 #include <vector>
 
 namespace buscrypt::sim {
+
+/// Identity of the bus master that issued a transaction. Master 0 is the
+/// CPU (the implicit issuer of all scalar traffic); an arbiter tags each
+/// granted window with its master's id so protection domains and probe
+/// attribution can tell concurrent streams apart.
+using master_id = u32;
+
+/// The CPU/default master: scalar requests and untagged transactions.
+inline constexpr master_id cpu_master = 0;
+
+/// Reserved sentinel — never a real master. It means "any/all masters"
+/// wherever a master id selects a scope: the engine's shared-region owner,
+/// the trace analyser's unfiltered view. bus_arbiter rejects masters
+/// registered with it, so it cannot appear on the bus.
+inline constexpr master_id any_master = static_cast<master_id>(-1);
 
 /// Direction of a transaction, as seen from the requester.
 enum class txn_op : u8 {
@@ -33,10 +70,13 @@ struct txn_segment {
 /// One batched memory request. Functional effects are applied in
 /// submission order (txn by txn, segment by segment); only *timing* may
 /// overlap between transactions, which is exactly the concurrency the
-/// surveyed hardware engines exploit.
+/// surveyed hardware engines exploit. See \ref txn_contract for the
+/// invariants every serving port upholds.
 struct mem_txn {
   u64 id = 0;
   txn_op op = txn_op::read;
+  master_id master = cpu_master; ///< issuing bus master (propagated downward
+                                 ///< by decorating ports, tagged onto beats)
   std::vector<txn_segment> segments;
   cycles complete_cycle = 0; ///< set by the port: completion time relative to
                              ///< its last drain() (monotone within a batch)
@@ -71,5 +111,7 @@ struct mem_txn {
 
 static_assert(static_cast<u8>(txn_op::read) == 0 && static_cast<u8>(txn_op::write) == 1,
               "txn_op is part of the wire-visible contract; keep it stable");
+static_assert(cpu_master == 0, "master 0 is the CPU by contract; scalar traffic "
+                               "and default-constructed txns rely on it");
 
 } // namespace buscrypt::sim

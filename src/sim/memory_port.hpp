@@ -14,6 +14,10 @@
 ///    serialises a batch through the scalar path, so every existing
 ///    memory_port is batch-capable; ports with real concurrency
 ///    (external_memory, stream_edu, bus_encryption_engine) override it.
+///
+/// The full batch contract (ordering, stamp monotonicity, the scalar
+/// fallback rule) is specified at \ref txn_contract in sim/mem_txn.hpp;
+/// the per-method notes below state each call's share of it.
 
 #include "common/types.hpp"
 #include "sim/mem_txn.hpp"
@@ -36,13 +40,26 @@ class memory_port {
   /// Write |in| bytes at addr. Returns total latency in cycles.
   [[nodiscard]] virtual cycles write(addr_t addr, std::span<const u8> in) = 0;
 
-  /// Submit a batch of transactions. Functional effects are applied in
-  /// submission order; timing may overlap between transactions. Each
-  /// txn's complete_cycle is set relative to the last drain(). The cycles
-  /// consumed accumulate until drain() collects them.
+  /// Submit a batch of transactions (see \ref txn_contract).
   ///
-  /// Default adapter: serial issue through read()/write(), so the batch
-  /// makespan equals the sum of scalar latencies.
+  /// **Ordering.** Functional effects are applied in submission order,
+  /// transaction by transaction and segment by segment — byte-identical
+  /// to scalar issue of the same requests. Timing alone may overlap.
+  ///
+  /// **Completion stamps.** Each txn's `complete_cycle` is set relative
+  /// to this port's last drain(); stamps are non-decreasing across the
+  /// batch and never exceed the makespan the next drain() reports.
+  /// Cycles consumed accumulate across submit() calls until drain()
+  /// collects them, so several submissions may share one drain window.
+  ///
+  /// **Scalar fallback.** This default adapter serialises the batch
+  /// through read()/write() — one scalar call per segment, in order —
+  /// so the batch makespan equals the sum of the scalar latencies and
+  /// every derived port is batch-capable without overriding anything.
+  /// Overriding ports may reorder *timing* only; any transaction they
+  /// cannot schedule natively must detour through the scalar path at a
+  /// point that preserves submission order (pending native work flushed
+  /// first), which is what bus_encryption_engine::submit does.
   virtual void submit(std::span<mem_txn> batch) {
     cycles t = pending_txn_cycles_;
     for (mem_txn& txn : batch) {
@@ -57,7 +74,9 @@ class memory_port {
 
   /// Collect the cycles consumed by everything submitted since the last
   /// drain() (the batch makespan, not the per-txn sum, on overlapping
-  /// ports) and reset the accumulator.
+  /// ports) and reset the accumulator. Calling drain() with nothing
+  /// pending returns 0; it also re-bases the `complete_cycle` origin for
+  /// the next submission window.
   [[nodiscard]] virtual cycles drain() { return std::exchange(pending_txn_cycles_, 0); }
 
  protected:

@@ -153,6 +153,60 @@ workload make_streaming(std::size_t n_elems, std::size_t array_size,
   return w;
 }
 
+workload make_dma_copy(std::size_t n_bytes, addr_t src_base, addr_t dst_base,
+                       std::size_t burst_bytes, u64 seed) {
+  require(burst_bytes >= 8 && burst_bytes % 8 == 0,
+          "make_dma_copy: burst must be a multiple of 8");
+  require(n_bytes % burst_bytes == 0, "make_dma_copy: n_bytes must be whole bursts");
+  rng r(seed);
+  (void)r; // DMA streams are deterministic; the seed is kept for API symmetry
+  workload w;
+  w.name = "dma-copy";
+  w.footprint = 2 * n_bytes;
+  w.accesses.reserve(2 * n_bytes / 8);
+
+  for (std::size_t off = 0; off < n_bytes; off += burst_bytes) {
+    for (std::size_t b = 0; b < burst_bytes; b += 8)
+      w.accesses.push_back({src_base + off + b, 8, access_kind::load});
+    for (std::size_t b = 0; b < burst_bytes; b += 8)
+      w.accesses.push_back({dst_base + off + b, 8, access_kind::store});
+  }
+  w.write_fraction = 0.5;
+  return w;
+}
+
+workload make_peripheral_poll(std::size_t n_polls, addr_t reg_base, std::size_t n_regs,
+                              std::size_t reg_stride, std::size_t write_every,
+                              u64 seed) {
+  require(n_regs >= 1, "make_peripheral_poll: need >= 1 register");
+  require(reg_stride >= 4, "make_peripheral_poll: registers must not overlap");
+  rng r(seed);
+  (void)r;
+  workload w;
+  w.name = "periph-poll";
+  w.footprint = n_regs * reg_stride;
+  w.accesses.reserve(n_polls + (write_every ? n_polls / write_every : 0));
+
+  std::size_t writes = 0;
+  for (std::size_t i = 0; i < n_polls; ++i) {
+    const addr_t reg = reg_base + (i % n_regs) * reg_stride;
+    w.accesses.push_back({reg, 4, access_kind::load});
+    if (write_every != 0 && i % write_every == write_every - 1) {
+      w.accesses.push_back({reg, 4, access_kind::store});
+      ++writes;
+    }
+  }
+  w.write_fraction =
+      w.accesses.empty() ? 0.0
+                         : static_cast<double>(writes) / static_cast<double>(w.accesses.size());
+  return w;
+}
+
+workload offset_workload(workload w, addr_t base) {
+  for (mem_access& acc : w.accesses) acc.addr += base;
+  return w;
+}
+
 std::vector<port_op> to_port_ops(const workload& w, std::size_t chunk) {
   require(chunk >= 8 && chunk % 8 == 0, "to_port_ops: chunk must be a multiple of 8");
   std::vector<port_op> ops;

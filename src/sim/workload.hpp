@@ -41,6 +41,36 @@ namespace buscrypt::sim {
 [[nodiscard]] workload make_streaming(std::size_t n_elems, std::size_t array_size,
                                       std::size_t write_every, u64 seed);
 
+// --- multi-master scenario generators ----------------------------------------
+// Request streams for the non-CPU masters of a multi-master SoC (see
+// sim/bus_master.hpp): the VLSI secure-DMA engine's page-by-page bulk
+// transfers (Fig. 4) and a peripheral's register polling loop. Combined
+// with the CPU generators above they form the mixed-master scenarios
+// bench/tab8_multimaster sweeps.
+
+/// Bulk DMA copy: \p n_bytes moved burst by burst from [src_base, ...) to
+/// [dst_base, ...). Each \p burst_bytes burst is fully covered by 8-byte
+/// reads then 8-byte writes, so lowering at any chunk <= burst_bytes
+/// produces a dense read-burst/write-burst stream — the bandwidth-bound
+/// traffic a secure DMA unit puts on the bus.
+[[nodiscard]] workload make_dma_copy(std::size_t n_bytes, addr_t src_base,
+                                     addr_t dst_base, std::size_t burst_bytes,
+                                     u64 seed);
+
+/// Peripheral register polling: \p n_polls reads rotating over \p n_regs
+/// registers spaced \p reg_stride bytes apart from \p reg_base, with one
+/// 4-byte control write every \p write_every polls (0 = read-only).
+/// Latency-bound, tiny footprint — the master a fixed-priority arbiter
+/// favours (or starves).
+[[nodiscard]] workload make_peripheral_poll(std::size_t n_polls, addr_t reg_base,
+                                            std::size_t n_regs, std::size_t reg_stride,
+                                            std::size_t write_every, u64 seed);
+
+/// Rebase a workload: every access shifted by \p base. Multi-master runs
+/// use this to give each master a disjoint address range, which is what
+/// makes per-master solo-vs-concurrent equivalence well defined.
+[[nodiscard]] workload offset_workload(workload w, addr_t base);
+
 /// The common suite the tab1 survey-overheads bench runs every engine on:
 /// a mix representative of embedded firmware (mostly sequential code, some
 /// branches, moderate data traffic).

@@ -209,7 +209,7 @@ TEST(BankSchedule, ProbeBeatsTimestampedFromSchedule) {
 
 TEST(RecordingProbe, UnboundedByDefault) {
   recording_probe p;
-  for (u64 i = 0; i < 100; ++i) p.on_beat({i, i, false, {}});
+  for (u64 i = 0; i < 100; ++i) p.on_beat({i, i, false, cpu_master, {}});
   EXPECT_EQ(p.log().size(), 100u);
   EXPECT_EQ(p.beats_seen(), 100u);
   EXPECT_EQ(p.capacity(), 0u);
@@ -217,7 +217,7 @@ TEST(RecordingProbe, UnboundedByDefault) {
 
 TEST(RecordingProbe, RingDropsOldestKeepsOrder) {
   recording_probe p(4);
-  for (u64 i = 0; i < 10; ++i) p.on_beat({i, 0x100 + i, false, {}});
+  for (u64 i = 0; i < 10; ++i) p.on_beat({i, 0x100 + i, false, cpu_master, {}});
   EXPECT_EQ(p.beats_seen(), 10u);
   ASSERT_EQ(p.log().size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
@@ -225,7 +225,7 @@ TEST(RecordingProbe, RingDropsOldestKeepsOrder) {
     EXPECT_EQ(p.log()[i].addr, 0x106 + i);
   }
   // Keep observing after normalisation: order stays coherent.
-  p.on_beat({10, 0x10A, false, {}});
+  p.on_beat({10, 0x10A, false, cpu_master, {}});
   ASSERT_EQ(p.log().size(), 4u);
   EXPECT_EQ(p.log().back().at, 10u);
   EXPECT_EQ(p.log().front().at, 7u);
