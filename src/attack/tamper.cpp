@@ -75,4 +75,115 @@ tamper_report run_tamper_suite(edu::integrity_edu& target, sim::dram& chip,
   return report;
 }
 
+engine_tamper_report run_engine_tamper_suite(engine::bus_encryption_engine& target,
+                                             sim::dram& chip, addr_t line_a,
+                                             addr_t line_b) {
+  const auto ctx = target.context_at(line_a);
+  if (ctx == engine::bus_encryption_engine::no_context ||
+      ctx != target.context_at(line_b))
+    throw std::invalid_argument("engine tamper suite: lines must share a context");
+  const std::size_t lb = target.context_key(ctx).data_unit_size;
+  if (line_a % lb != 0 || line_b % lb != 0 || line_a == line_b)
+    throw std::invalid_argument("engine tamper suite: need two distinct aligned lines");
+  engine::memory_authenticator* auth = target.auth_of(ctx);
+  if (auth != nullptr && (!auth->covers(line_a) || !auth->covers(line_b)))
+    throw std::invalid_argument("engine tamper suite: lines outside the "
+                                "authenticated window");
+
+  engine_tamper_report report;
+  const bytes plain_a = pattern_line(lb, 0x11);
+  const bytes plain_b = pattern_line(lb, 0x77);
+  bytes buf(lb);
+
+  const auto faults = [&] { return target.stats().integrity_faults; };
+  // (Re)establish good state — a previous scenario may have left the tree
+  // fail-stopped, so the operator re-seals before writing — apply the
+  // tamper, power-cycle the volatile on-chip caches (attackers pick their
+  // moment), fetch, diff the counter.
+  const auto detected_by = [&](auto&& tamper_fn) {
+    if (auth != nullptr) auth->seal_from_memory();
+    (void)target.write(line_a, std::span<const u8>(plain_a));
+    (void)target.write(line_b, std::span<const u8>(plain_b));
+    tamper_fn();
+    if (auth != nullptr) auth->drop_caches();
+    const u64 before = faults();
+    (void)target.read(line_a, buf);
+    return faults() > before;
+  };
+
+  // --- clean baseline: the untampered round trip must never fault ----------
+  report.clean_faulted = detected_by([] {}) || buf != plain_a;
+
+  // --- spoof: flip ciphertext bits on the chip -----------------------------
+  report.spoof_detected = detected_by([&] { chip.raw()[line_a + 3] ^= 0x40; });
+
+  // --- splice: relocate B's line AND its authentication material -----------
+  report.splice_detected = detected_by([&] {
+    for (std::size_t i = 0; i < lb; ++i) chip.raw()[line_a + i] = chip.raw()[line_b + i];
+    if (auth == nullptr) return;
+    switch (auth->mode()) {
+      case engine::auth_mode::mac: {
+        const addr_t ta = auth->tag_addr(line_a);
+        const addr_t tb = auth->tag_addr(line_b);
+        for (std::size_t i = 0; i < auth->config().tag_bytes; ++i)
+          chip.raw()[ta + i] = chip.raw()[tb + i];
+        break;
+      }
+      case engine::auth_mode::hash_tree: {
+        const u64 ia = (line_a - auth->config().base) / lb;
+        const u64 ib = (line_b - auth->config().base) / lb;
+        const addr_t na = auth->node_addr(0, ia);
+        const addr_t nb = auth->node_addr(0, ib);
+        for (std::size_t i = 0; i < auth->config().tag_bytes; ++i)
+          chip.raw()[na + i] = chip.raw()[nb + i];
+        break;
+      }
+      case engine::auth_mode::area:
+        *auth->area_sideband(line_a) = *auth->area_sideband(line_b);
+        break;
+      case engine::auth_mode::none: break;
+    }
+  });
+
+  // --- replay: roll line A and its authentication material back ------------
+  if (auth != nullptr) auth->seal_from_memory(); // recover from the splice run
+  (void)target.write(line_a, std::span<const u8>(plain_a));
+  bytes stale_ct(lb);
+  chip.read_bytes(line_a, stale_ct);
+  bytes stale_auth;      // mac tag / whole stored tree / area sideband
+  addr_t stale_base = 0; // external address the snapshot restores to
+  if (auth != nullptr) switch (auth->mode()) {
+      case engine::auth_mode::mac:
+        stale_base = auth->tag_addr(line_a);
+        stale_auth.resize(auth->config().tag_bytes);
+        chip.read_bytes(stale_base, stale_auth);
+        break;
+      case engine::auth_mode::hash_tree:
+        // Roll back every stored node: the strongest replay, beaten only
+        // by the on-chip root.
+        stale_base = auth->config().tag_base;
+        stale_auth.resize(auth->tag_memory_bytes());
+        chip.read_bytes(stale_base, stale_auth);
+        break;
+      case engine::auth_mode::area: stale_auth = *auth->area_sideband(line_a); break;
+      case engine::auth_mode::none: break;
+    }
+
+  const bytes plain_a2 = pattern_line(lb, 0xCC);
+  (void)target.write(line_a, std::span<const u8>(plain_a2)); // the current value
+
+  chip.write_bytes(line_a, stale_ct); // the attacker's rollback
+  if (auth != nullptr && !stale_auth.empty()) {
+    if (auth->mode() == engine::auth_mode::area) *auth->area_sideband(line_a) = stale_auth;
+    else chip.write_bytes(stale_base, stale_auth);
+  }
+  if (auth != nullptr) auth->drop_caches();
+
+  const u64 before = faults();
+  (void)target.read(line_a, buf);
+  report.replay_detected = faults() > before;
+
+  return report;
+}
+
 } // namespace buscrypt::attack

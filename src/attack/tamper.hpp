@@ -12,6 +12,7 @@
 /// detection matrix (bench/tab6_integrity).
 
 #include "edu/integrity_edu.hpp"
+#include "engine/bus_encryption_engine.hpp"
 #include "sim/dram.hpp"
 
 namespace buscrypt::attack {
@@ -31,5 +32,26 @@ struct tamper_report {
 [[nodiscard]] tamper_report run_tamper_suite(edu::integrity_edu& target,
                                              sim::dram& chip, addr_t line_a,
                                              addr_t line_b);
+
+/// The same trio against the production keyslot engine, whatever
+/// auth scheme guards the lines' context (none, mac, area, hash_tree).
+/// Detection = the engine's integrity_faults counter moved on the fetch;
+/// the attacker also relocates/rolls back the matching authentication
+/// material (mac tag bytes, tree nodes, AREA widened-memory cells) and
+/// power-cycles the volatile caches before fetching — the strongest
+/// Class-II position each scheme claims to resist.
+struct engine_tamper_report {
+  bool clean_faulted = false;   ///< any false fault on the untampered run
+  bool spoof_detected = false;  ///< flipped ciphertext bits caught
+  bool splice_detected = false; ///< line B (+ auth material) over line A caught
+  bool replay_detected = false; ///< stale (line, auth material) rollback caught
+};
+
+/// \p line_a and \p line_b must be distinct data-unit-aligned addresses in
+/// the same encryption context of \p target (inside the authenticated
+/// window when one is attached); \p chip is the raw external part.
+[[nodiscard]] engine_tamper_report
+run_engine_tamper_suite(engine::bus_encryption_engine& target, sim::dram& chip,
+                        addr_t line_a, addr_t line_b);
 
 } // namespace buscrypt::attack

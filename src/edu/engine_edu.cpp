@@ -8,11 +8,17 @@ engine_edu::engine_edu(sim::memory_port& lower, std::span<const u8> key,
       slots_(engine::backend_registry::builtin(), cfg_.num_slots),
       engine_(lower, slots_, cfg_.engine),
       name_(std::string(keyslot_name_prefix) + cfg_.backend) {
-  const auto ctx = engine_.create_context(
+  default_ctx_ = engine_.create_context(
       {cfg_.backend, bytes(key.begin(), key.end()), cfg_.data_unit_size});
   // Default context covers the full address space; further map_region()
   // calls on engine() override it (later mappings win).
-  engine_.map_region(0, static_cast<std::size_t>(-1), ctx);
+  engine_.map_region(0, static_cast<std::size_t>(-1), default_ctx_);
+  if (cfg_.auth.mode != engine::auth_mode::none) {
+    if (cfg_.auth.key.empty()) cfg_.auth.key = bytes(key.begin(), key.end());
+    engine_.attach_auth(default_ctx_, cfg_.auth);
+    name_ += '+';
+    name_ += engine::auth_mode_name(cfg_.auth.mode);
+  }
 }
 
 cycles engine_edu::read(addr_t addr, std::span<u8> out) {

@@ -20,6 +20,10 @@ struct engine_edu_config {
   std::size_t data_unit_size = 32; ///< typically the cache line size
   unsigned num_slots = 4;          ///< hardware keyslot pool size
   engine::engine_config engine{};
+  /// Authentication of the default context (mode none = PR 3 datapath,
+  /// cycle for cycle). The window/tag geometry is the caller's; an empty
+  /// key derives from the device key.
+  engine::auth_config auth{};
 };
 
 /// EDU wrapping one bus_encryption_engine with a private slot pool. The
@@ -51,6 +55,10 @@ class engine_edu final : public edu {
   [[nodiscard]] engine::bus_encryption_engine& engine() noexcept { return engine_; }
   [[nodiscard]] engine::keyslot_manager& slots() noexcept { return slots_; }
   [[nodiscard]] const engine_edu_config& config() const noexcept { return cfg_; }
+  /// The default context's authenticator, or nullptr when auth is off.
+  [[nodiscard]] engine::memory_authenticator* auth() noexcept {
+    return engine_.auth_of(default_ctx_);
+  }
 
  private:
   void sync_stats() noexcept;
@@ -58,6 +66,7 @@ class engine_edu final : public edu {
   engine_edu_config cfg_;
   engine::keyslot_manager slots_;
   engine::bus_encryption_engine engine_;
+  engine::bus_encryption_engine::context_id default_ctx_ = 0;
   std::string name_;
 };
 

@@ -118,7 +118,29 @@ secure_soc::secure_soc(engine_kind kind, const soc_config& cfg)
     case engine_kind::inline_keyslot: {
       engine_edu_config kcfg;
       kcfg.data_unit_size = cfg.l1.line_size;
-      edu_ = std::make_unique<engine_edu>(ext_, aes_key_, std::move(kcfg));
+      if (!cfg.keyslot_backend.empty()) kcfg.backend = cfg.keyslot_backend;
+      if (cfg.keyslot_auth != engine::auth_mode::none) {
+        kcfg.auth.mode = cfg.keyslot_auth;
+        kcfg.auth.base = 0;
+        kcfg.auth.limit = cfg.keyslot_auth_limit;
+        kcfg.auth.tag_base = cfg.keyslot_auth_tag_base;
+        rng auth_rng(cfg.key_seed ^ 0xA07411ULL);
+        kcfg.auth.key = auth_rng.random_bytes(16);
+      }
+      // The device key must fit the configured backend: the default AES
+      // key for AES-family backends (bit-identical to the PR 3 wiring),
+      // a seed-derived key of the smallest accepted length otherwise.
+      bytes dev_key = aes_key_;
+      const auto& backend = engine::backend_registry::builtin().at(kcfg.backend);
+      if (!backend.key_len_ok(dev_key.size())) {
+        for (std::size_t len = 1; len <= 32; ++len)
+          if (backend.key_len_ok(len)) {
+            rng kr(cfg.key_seed ^ (0xBACC0DEULL + len));
+            dev_key = kr.random_bytes(len);
+            break;
+          }
+      }
+      edu_ = std::make_unique<engine_edu>(ext_, dev_key, std::move(kcfg));
       break;
     }
     case engine_kind::cacheside_otp:

@@ -9,6 +9,7 @@
 #include "crypto/toy_cipher.hpp"
 #include "edu/edu.hpp"
 #include "edu/names.hpp"
+#include "engine/memory_authenticator.hpp"
 #include "sim/bus.hpp"
 #include "sim/bus_arbiter.hpp"
 #include "sim/cache.hpp"
@@ -133,6 +134,15 @@ struct soc_config {
   /// Harvard L1: two caches of l1.size/2 each (fetches vs data) over the
   /// same EDU. Ignored by the cacheside_otp engine (which wraps one cache).
   bool split_l1 = false;
+  /// inline_keyslot only: cipher backend of the default context; empty =
+  /// keyslot_default_backend. The tab9 auth sweep uses this axis.
+  std::string keyslot_backend;
+  /// inline_keyslot only: authentication of [0, keyslot_auth_limit) on the
+  /// default context (none = PR 3 behaviour, cycle-identical). Tags/tree
+  /// nodes live at keyslot_auth_tag_base, outside every workload's range.
+  engine::auth_mode keyslot_auth = engine::auth_mode::none;
+  addr_t keyslot_auth_limit = 1u << 19;
+  addr_t keyslot_auth_tag_base = 6u << 20;
 };
 
 /// The assembled system. Owns every component; wiring depends on the

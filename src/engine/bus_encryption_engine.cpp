@@ -1,7 +1,9 @@
 #include "engine/bus_encryption_engine.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace buscrypt::engine {
 
@@ -25,6 +27,7 @@ bus_encryption_engine::context_id bus_encryption_engine::create_context(keyslot_
                                 " (CTR keystream would repeat across units)");
   contexts_.push_back(std::move(k));
   context_live_.push_back(true);
+  auths_.push_back(nullptr);
   return contexts_.size() - 1;
 }
 
@@ -33,7 +36,57 @@ void bus_encryption_engine::destroy_context(context_id ctx) {
     throw std::out_of_range("destroy_context: bad context id");
   context_live_[ctx] = false;
   std::erase_if(regions_, [ctx](const region& r) { return r.ctx == ctx; });
+  auths_[ctx].reset();
   (void)slots_->evict(contexts_[ctx]); // best-effort: may be absent or busy
+}
+
+memory_authenticator& bus_encryption_engine::attach_auth(context_id ctx,
+                                                         auth_config cfg) {
+  if (ctx >= contexts_.size() || !context_live_[ctx])
+    throw std::out_of_range("attach_auth: bad context id");
+  if (auths_[ctx] != nullptr)
+    throw std::invalid_argument("attach_auth: context already authenticated");
+  const keyslot_key& k = contexts_[ctx];
+  if (cfg.mode == auth_mode::area) {
+    // AREA's check IS the block cipher's diffusion: a pad-precomputable
+    // mode (CTR, stream) XORs bit-for-bit, so a flipped ciphertext bit
+    // would flip exactly one plaintext bit and leave every nonce slice
+    // intact. Reject those up front.
+    const auto probe = slots_->registry().at(k.backend).make_keyed(k.key);
+    if (probe->pad_precomputable())
+      throw std::invalid_argument("attach_auth: AREA needs a diffusing block mode "
+                                  "(got pad-precomputable backend " + k.backend + ")");
+    if (cfg.tag_bytes >= probe->granule())
+      throw std::invalid_argument("attach_auth: AREA redundancy must leave data "
+                                  "capacity in every cipher block");
+  }
+  auths_[ctx] = std::make_unique<memory_authenticator>(*lower_, std::move(cfg),
+                                                       k.data_unit_size);
+  memory_authenticator& auth = *auths_[ctx];
+  if (auth.mode() == auth_mode::area) {
+    // Seal the window in place: reinterpret the current external bytes
+    // through the context's normal decrypt, then re-store them in the
+    // expanded AREA format at version 0. Offline, like install().
+    const std::size_t du = k.data_unit_size;
+    slot_lease lease = lease_slot(k, /*charge_time=*/false);
+    bytes plain(du), ct(du);
+    for (addr_t a = auth.config().base; a < auth.config().limit; a += du) {
+      (void)lower_->read(a, plain);
+      (void)transform_units(*lease.kc, k, a, plain, /*encrypt=*/false, lease.fallback,
+                            /*charge=*/false);
+      (void)auth.area_encipher(*lease.kc, a, plain, ct, /*initial=*/true,
+                               /*charge=*/false);
+      (void)lower_->write(a, ct);
+    }
+  } else {
+    auth.seal_from_memory();
+  }
+  return auth;
+}
+
+void bus_encryption_engine::note_integrity_fault(master_id m) {
+  ++stats_.integrity_faults;
+  ++domain_slot(m).integrity_faults;
 }
 
 void bus_encryption_engine::map_region(addr_t base, std::size_t len, context_id ctx) {
@@ -110,23 +163,23 @@ domain_stats bus_encryption_engine::domain(master_id m) const noexcept {
   return {};
 }
 
+domain_stats& bus_encryption_engine::domain_slot(master_id m) {
+  for (auto& [id, s] : domains_)
+    if (id == m) return s;
+  return domains_.emplace_back(m, domain_stats{}).second;
+}
+
 void bus_encryption_engine::note_domain(master_id m, bool is_write, std::size_t n,
                                         bool fault) {
-  domain_stats* st = nullptr;
-  for (auto& [id, s] : domains_)
-    if (id == m) {
-      st = &s;
-      break;
-    }
-  if (st == nullptr) st = &domains_.emplace_back(m, domain_stats{}).second;
+  domain_stats& st = domain_slot(m);
   if (fault) {
-    ++st->faults;
+    ++st.faults;
     ++stats_.domain_faults;
     return;
   }
-  if (is_write) ++st->writes;
-  else ++st->reads;
-  st->bytes += n;
+  if (is_write) ++st.writes;
+  else ++st.reads;
+  st.bytes += n;
 }
 
 const keyslot_key& bus_encryption_engine::context_key(context_id ctx) const {
@@ -199,11 +252,37 @@ cycles bus_encryption_engine::crypt_span(context_id ctx, addr_t addr, std::span<
   const bool fallback = lease.fallback;
   cycles t = lease.setup;
 
+  memory_authenticator* auth = auths_[ctx].get();
+  if (auth != nullptr && auth->mode() == auth_mode::area)
+    return t + area_span(*auth, *kc, k, addr, data, is_write, charge_time, fallback);
+
   bytes cover(static_cast<std::size_t>(a1 - a0));
+
+  // mac/hash_tree verify the *ciphertext* of one covered unit; a mismatch
+  // is counted against the issuing master and the unit's plaintext is
+  // replaced by the bus-error fill (the CPU must never consume it).
+  auto verify_ct = [&](addr_t unit_addr, std::span<const u8> ct) -> bool {
+    if (auth == nullptr || !auth->covers(unit_addr)) return true;
+    const auto cr = auth->verify_unit(unit_addr, ct, charge_time);
+    t += cr.bus + cr.compute;
+    return cr.ok;
+  };
+  auto fault_unit = [&](std::span<u8> plain) {
+    std::fill(plain.begin(), plain.end(), fault_fill);
+    note_integrity_fault(active_master_);
+    if (charge_time) t += cfg_.fault_cycles;
+  };
 
   if (!is_write) {
     t += lower_->read(a0, cover);
+    std::vector<std::size_t> failed;
+    if (auth != nullptr)
+      for (std::size_t off = 0; off < cover.size(); off += du)
+        if (!verify_ct(a0 + off, std::span<const u8>(cover).subspan(off, du)))
+          failed.push_back(off);
     t += transform_units(*kc, k, a0, cover, /*encrypt=*/false, fallback, charge_time);
+    for (const std::size_t off : failed)
+      fault_unit(std::span<u8>(cover).subspan(off, du));
     std::copy_n(cover.begin() + static_cast<std::ptrdiff_t>(addr - a0), data.size(),
                 data.begin());
     return t;
@@ -215,20 +294,114 @@ cycles bus_encryption_engine::crypt_span(context_id ctx, addr_t addr, std::span<
     if (head_partial) {
       std::span<u8> head(cover.data(), du);
       t += lower_->read(a0, head);
+      const bool ok = verify_ct(a0, head);
       t += transform_units(*kc, k, a0, head, /*encrypt=*/false, fallback, charge_time);
+      if (!ok) fault_unit(head);
       ++stats_.rmw_ops;
     }
     if (tail_partial && (a1 - a0 > du || !head_partial)) {
       std::span<u8> tail(cover.data() + cover.size() - du, du);
       t += lower_->read(a1 - du, tail);
+      const bool ok = verify_ct(a1 - du, tail);
       t += transform_units(*kc, k, a1 - du, tail, /*encrypt=*/false, fallback, charge_time);
+      if (!ok) fault_unit(tail);
       ++stats_.rmw_ops; // guard above ensures this unit was not the head RMW
     }
   }
   std::copy(data.begin(), data.end(),
             cover.begin() + static_cast<std::ptrdiff_t>(addr - a0));
   t += transform_units(*kc, k, a0, cover, /*encrypt=*/true, fallback, charge_time);
+  if (auth != nullptr)
+    for (std::size_t off = 0; off < cover.size(); off += du) {
+      const addr_t ua = a0 + off;
+      if (!auth->covers(ua)) continue;
+      const auto cr =
+          auth->update_unit(ua, std::span<const u8>(cover).subspan(off, du), charge_time);
+      t += cr.bus + cr.compute;
+      if (!cr.ok) { // hash_tree caught a tampered stored path on the write walk
+        note_integrity_fault(active_master_);
+        if (charge_time) t += cfg_.fault_cycles;
+      }
+    }
   t += lower_->write(a0, cover);
+  return t;
+}
+
+cycles bus_encryption_engine::area_span(memory_authenticator& auth, keyed_cipher& kc,
+                                        const keyslot_key& k, addr_t addr,
+                                        std::span<u8> data, bool is_write,
+                                        bool charge_time, bool fallback) {
+  const std::size_t du = k.data_unit_size;
+  const addr_t a0 = addr / du * du;
+  const addr_t a1 = (addr + data.size() + du - 1) / du * du;
+  const bool head_partial = addr != a0;
+  const bool tail_partial = addr + data.size() != a1;
+  cycles t = 0;
+
+  auto charge_unit = [&](cycles c) {
+    if (!charge_time) return;
+    t += c;
+    stats_.crypto_cycles += c;
+    ++stats_.units;
+  };
+  // Unseal one covered unit in place: DRAM ciphertext + sideband ->
+  // plaintext, nonce slices checked on the way.
+  auto unseal = [&](addr_t ua, std::span<u8> buf) {
+    bytes plain(du);
+    const auto cr = auth.area_decipher(kc, ua, buf, plain, charge_time);
+    std::copy(plain.begin(), plain.end(), buf.begin());
+    charge_unit(cr.compute);
+    if (!cr.ok) {
+      std::fill(buf.begin(), buf.end(), fault_fill);
+      note_integrity_fault(active_master_);
+      if (charge_time) t += cfg_.fault_cycles;
+    }
+  };
+
+  if (!is_write) {
+    bytes cover(static_cast<std::size_t>(a1 - a0));
+    t += lower_->read(a0, cover);
+    for (std::size_t off = 0; off < cover.size(); off += du) {
+      const addr_t ua = a0 + off;
+      std::span<u8> unit = std::span<u8>(cover).subspan(off, du);
+      if (auth.covers(ua)) unseal(ua, unit);
+      else t += transform_units(kc, k, ua, unit, /*encrypt=*/false, fallback, charge_time);
+    }
+    std::copy_n(cover.begin() + static_cast<std::ptrdiff_t>(addr - a0), data.size(),
+                data.begin());
+    return t;
+  }
+
+  // Write path: assemble the plaintext cover (RMW through the unseal for
+  // partial edges), then re-seal unit by unit and store in one burst.
+  bytes plain_cover(static_cast<std::size_t>(a1 - a0));
+  auto rmw_read = [&](addr_t ua, std::span<u8> buf) {
+    t += lower_->read(ua, buf);
+    if (auth.covers(ua)) unseal(ua, buf);
+    else t += transform_units(kc, k, ua, buf, /*encrypt=*/false, fallback, charge_time);
+    ++stats_.rmw_ops;
+  };
+  if (head_partial) rmw_read(a0, std::span<u8>(plain_cover.data(), du));
+  if (tail_partial && (a1 - a0 > du || !head_partial))
+    rmw_read(a1 - du, std::span<u8>(plain_cover.data() + plain_cover.size() - du, du));
+  std::copy(data.begin(), data.end(),
+            plain_cover.begin() + static_cast<std::ptrdiff_t>(addr - a0));
+
+  bytes ct_cover(plain_cover.size());
+  for (std::size_t off = 0; off < plain_cover.size(); off += du) {
+    const addr_t ua = a0 + off;
+    std::span<u8> ct = std::span<u8>(ct_cover).subspan(off, du);
+    if (auth.covers(ua)) {
+      const cycles c = auth.area_encipher(
+          kc, ua, std::span<const u8>(plain_cover).subspan(off, du), ct,
+          /*initial=*/false, charge_time);
+      charge_unit(c);
+    } else {
+      std::copy_n(plain_cover.begin() + static_cast<std::ptrdiff_t>(off), du, ct.begin());
+      t += transform_units(kc, k, ua, ct, /*encrypt=*/true, fallback, charge_time);
+    }
+  }
+  t += lower_->write(a0, ct_cover);
   return t;
 }
 
@@ -330,12 +503,42 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     std::span<u8> data;
     bool fallback;
     std::size_t txn_idx; ///< owning entry in `lower`, for its arrival time
+    memory_authenticator* area = nullptr; ///< set when the segment unseals AREA units
+    master_id master = sim::cpu_master;   ///< for integrity-fault attribution
+    /// Staging-order unseal snapshots, one per covered unit in segment
+    /// order: a later in-batch write of the unit must not bleed its bumped
+    /// version / new sideband into this read's verify.
+    std::vector<memory_authenticator::area_staged> area_snaps;
   };
   std::vector<sim::mem_txn> lower;
-  std::vector<sim::mem_txn*> flush_txns; ///< batch txns aligned with `lower`
+  std::vector<sim::mem_txn*> flush_txns; ///< batch txns aligned with `lower`;
+                                         ///< null for auth (tag) side traffic
   std::vector<post_read> posts;
   cycles par_crypto = 0; ///< pad-precomputable work pending in this flush
   cycles engine_pre = 0; ///< data-dependent encipher staged before submission
+  cycles mac_pre = 0;    ///< write tags staged on the serial MAC unit
+
+  // Authentication side-channel of the same lower batch: tag lines to
+  // fetch (deduped per flush), staged tag/scratch buffers (stable storage
+  // — lower txns hold spans into them), and the verifies to finish once
+  // data and tags arrive.
+  std::deque<bytes> aux;
+  struct tag_fetch {
+    addr_t line = 0;
+    std::size_t lower_idx = 0; ///< assigned when the fetch txn is pushed
+    bytes* buf = nullptr;
+  };
+  std::vector<tag_fetch> tag_fetches;
+  std::unordered_map<addr_t, std::size_t> tagline_map; ///< line -> tag_fetches idx
+  struct pending_ver {
+    memory_authenticator* auth = nullptr;
+    memory_authenticator::staged_verify sv;
+    std::size_t data_idx = 0; ///< entry in `lower` carrying the unit
+    std::span<u8> ct;         ///< the unit inside the segment buffer
+    std::ptrdiff_t fetch_idx = -1; ///< into tag_fetches; -1 = cache snapshot
+    master_id master = sim::cpu_master;
+  };
+  std::vector<pending_ver> pending;
 
   // Ship the accumulated lower batch and decipher the reads it carried.
   // Called before any scalar detour so functional order is preserved.
@@ -353,8 +556,61 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     // decipher it still owes.
     std::vector<cycles> finish(lower.size());
     for (std::size_t i = 0; i < lower.size(); ++i) finish[i] = lower[i].complete_cycle;
+
+    // MAC verifies first, over the ciphertext as it arrived and before the
+    // decrypt pass consumes it. The MAC unit is serial: each verify starts
+    // once its data AND its tag line have arrived (the overlap with other
+    // transactions' fetches is the point of riding the batch).
+    struct fail_rec {
+      std::span<u8> span;
+      master_id master;
+    };
+    std::vector<fail_rec> fails;
+    cycles mac_done = mac_pre;
+    for (pending_ver& pv : pending) {
+      cycles arrive = finish[pv.data_idx];
+      std::span<const u8> line{};
+      if (pv.fetch_idx >= 0) {
+        const tag_fetch& tf = tag_fetches[static_cast<std::size_t>(pv.fetch_idx)];
+        arrive = std::max(arrive, lower[tf.lower_idx].complete_cycle);
+        line = *tf.buf;
+      }
+      const auto cr = pv.auth->batch_finish_verify(pv.sv, pv.ct, line, /*charge=*/true);
+      mac_done = std::max(mac_done, arrive) + cr.compute;
+      finish[pv.data_idx] = std::max(finish[pv.data_idx], mac_done);
+      if (!cr.ok) fails.push_back({pv.ct, pv.master});
+    }
+
     cycles engine_done = engine_pre;
     for (post_read& pr : posts) {
+      if (pr.area != nullptr) {
+        // AREA unseal: per-unit expanded decipher on the serial core, each
+        // unit gated on the segment's own data arrival.
+        const std::size_t du = pr.key->data_unit_size;
+        cycles done = std::max(engine_done, lower[pr.txn_idx].complete_cycle);
+        std::size_t snap = 0;
+        for (std::size_t off = 0; off < pr.data.size(); off += du) {
+          const addr_t ua = pr.addr + off;
+          std::span<u8> unit = pr.data.subspan(off, du);
+          if (pr.area->covers(ua)) {
+            bytes plain(du);
+            const auto cr = pr.area->area_finish(*pr.kc, ua, unit, plain,
+                                                 pr.area_snaps[snap++],
+                                                 /*charge=*/true);
+            std::copy(plain.begin(), plain.end(), unit.begin());
+            stats_.crypto_cycles += cr.compute;
+            ++stats_.units;
+            done += cr.compute;
+            if (!cr.ok) fails.push_back({unit, pr.master});
+          } else {
+            done += transform_units(*pr.kc, *pr.key, ua, unit, /*encrypt=*/false,
+                                    pr.fallback, /*charge=*/true);
+          }
+        }
+        engine_done = done;
+        finish[pr.txn_idx] = std::max(finish[pr.txn_idx], engine_done);
+        continue;
+      }
       const cycles c = transform_units(*pr.kc, *pr.key, pr.addr, pr.data,
                                        /*encrypt=*/false, pr.fallback, /*charge=*/true);
       if (pr.kc->pad_precomputable()) {
@@ -364,17 +620,31 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
         finish[pr.txn_idx] = std::max(finish[pr.txn_idx], engine_done);
       }
     }
+    // A failed verify blocks the unit's plaintext: bus-error fill, charged
+    // to the issuing master, after the decrypt pass so the fill survives.
+    for (const fail_rec& f : fails) {
+      std::fill(f.span.begin(), f.span.end(), fault_fill);
+      note_integrity_fault(f.master);
+    }
     cycles mono = 0; // in-order retirement: stamps stay monotone
     for (std::size_t i = 0; i < lower.size(); ++i) {
       mono = std::max(mono, finish[i]);
-      flush_txns[i]->complete_cycle = base + clock + mono;
+      if (flush_txns[i] != nullptr) flush_txns[i]->complete_cycle = base + clock + mono;
     }
-    clock += std::max({mem_span, par_crypto, engine_done});
+    clock += std::max({mem_span, par_crypto, engine_done, mac_done});
+    // Staged tags are all in DRAM and the cache now: retire the forwarding
+    // window on every authenticator this batch may have touched.
+    for (const auto& auth : auths_)
+      if (auth != nullptr && auth->mode() == auth_mode::mac) auth->batch_flush_done();
     lower.clear();
     flush_txns.clear();
     posts.clear();
+    pending.clear();
+    tag_fetches.clear();
+    tagline_map.clear();
     par_crypto = 0;
     engine_pre = 0;
+    mac_pre = 0;
   };
 
   std::vector<context_id> seg_ctx; // eligibility-pass span_for results, reused below
@@ -393,6 +663,14 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
       }
       const std::size_t du = contexts_[s.ctx].data_unit_size;
       if (seg.addr % du != 0 || seg.data.size() % du != 0) {
+        eligible = false;
+        break;
+      }
+      // Hash-tree verification is a causally serial walk (each level needs
+      // the one below), so tree-guarded units take the scalar datapath.
+      const memory_authenticator* a = auths_[s.ctx].get();
+      if (a != nullptr && a->mode() == auth_mode::hash_tree &&
+          seg.addr < a->config().limit && seg.addr + seg.data.size() > a->config().base) {
         eligible = false;
         break;
       }
@@ -453,28 +731,114 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     lt.op = txn.op;
     lt.master = txn.master; // attribution rides down to the bus beats
     lt.segments.reserve(txn.segments.size());
+    // Tag side traffic this txn adds to the lower batch, pushed after the
+    // data txn so the batch stays in submission order.
+    std::vector<std::pair<addr_t, bytes*>> tag_writes;
+    std::vector<std::size_t> new_fetches;
     for (std::size_t si = 0; si < txn.segments.size(); ++si) {
       sim::txn_segment& seg = txn.segments[si];
       const context_id ctx = seg_ctx[si];
       const auto [kc, fallback] = resolve(ctx);
       const keyslot_key& k = contexts_[ctx];
+      memory_authenticator* auth = auths_[ctx].get();
+      const std::size_t du = k.data_unit_size;
       note_domain(txn.master, txn.is_write(), seg.data.size(), /*fault=*/false);
       if (txn.is_write()) {
         staged.emplace_back(seg.data.begin(), seg.data.end());
-        const cycles c = transform_units(*kc, k, seg.addr, staged.back(),
-                                         /*encrypt=*/true, fallback, /*charge=*/true);
-        // Write data is in hand at staging time: precomputable pads overlap
-        // the bus, block-mode encipher occupies the serial core up front.
-        if (kc->pad_precomputable()) par_crypto += c;
-        else engine_pre += c;
+        if (auth != nullptr && auth->mode() == auth_mode::area) {
+          // Seal unit by unit: the expanded encipher replaces the in-place
+          // transform; block modes only, so it all lands on the serial core.
+          bytes& ct = staged.back();
+          for (std::size_t off = 0; off < ct.size(); off += du) {
+            const addr_t ua = seg.addr + off;
+            std::span<u8> unit = std::span<u8>(ct).subspan(off, du);
+            if (auth->covers(ua)) {
+              const cycles c = auth->area_encipher(
+                  *kc, ua, std::span<const u8>(seg.data).subspan(off, du), unit,
+                  /*initial=*/false, /*charge=*/true);
+              stats_.crypto_cycles += c;
+              ++stats_.units;
+              engine_pre += c;
+            } else {
+              engine_pre += transform_units(*kc, k, ua, unit, /*encrypt=*/true,
+                                            fallback, /*charge=*/true);
+            }
+          }
+        } else {
+          const cycles c = transform_units(*kc, k, seg.addr, staged.back(),
+                                           /*encrypt=*/true, fallback, /*charge=*/true);
+          // Write data is in hand at staging time: precomputable pads overlap
+          // the bus, block-mode encipher occupies the serial core up front.
+          if (kc->pad_precomputable()) par_crypto += c;
+          else engine_pre += c;
+          if (auth != nullptr) { // mac: new tags ride the same lower batch
+            for (std::size_t off = 0; off < staged.back().size(); off += du) {
+              const addr_t ua = seg.addr + off;
+              if (!auth->covers(ua)) continue;
+              auto su = auth->batch_stage_update(
+                  ua, std::span<const u8>(staged.back()).subspan(off, du),
+                  /*charge=*/true);
+              mac_pre += su.compute;
+              aux.emplace_back(std::move(su.tag));
+              tag_writes.emplace_back(su.tag_addr, &aux.back());
+            }
+          }
+        }
         lt.segments.push_back({seg.addr, std::span<u8>(staged.back())});
       } else {
         lt.segments.push_back(seg);
-        posts.push_back({kc, &k, seg.addr, seg.data, fallback, lower.size()});
+        const bool is_area = auth != nullptr && auth->mode() == auth_mode::area;
+        posts.push_back({kc, &k, seg.addr, seg.data, fallback, lower.size(),
+                         is_area ? auth : nullptr, txn.master, {}});
+        if (is_area)
+          for (std::size_t off = 0; off < seg.data.size(); off += du) {
+            const addr_t ua = seg.addr + off;
+            if (auth->covers(ua)) posts.back().area_snaps.push_back(auth->area_prepare(ua));
+          }
+        if (auth != nullptr && auth->mode() == auth_mode::mac) {
+          for (std::size_t off = 0; off < seg.data.size(); off += du) {
+            const addr_t ua = seg.addr + off;
+            if (!auth->covers(ua)) continue;
+            pending_ver pv{auth, auth->batch_prepare_verify(ua), lower.size(),
+                           seg.data.subspan(off, du), -1, txn.master};
+            if (!pv.sv.have_tag) {
+              // One fetch per tag line per flush, shared by every unit
+              // whose tag packs into it.
+              const auto [it, inserted] =
+                  tagline_map.try_emplace(pv.sv.tag_line, tag_fetches.size());
+              if (inserted) {
+                auth->note_batch_tag_fetch();
+                aux.emplace_back(memory_authenticator::k_tag_line);
+                tag_fetches.push_back({pv.sv.tag_line, 0, &aux.back()});
+                new_fetches.push_back(it->second);
+              }
+              pv.fetch_idx = static_cast<std::ptrdiff_t>(it->second);
+            }
+            pending.push_back(std::move(pv));
+          }
+        }
       }
     }
     lower.push_back(std::move(lt));
     flush_txns.push_back(&txn);
+    // Tag traffic rides the same batch, attributed to the same master.
+    for (const auto& [ta, buf] : tag_writes) {
+      sim::mem_txn tt;
+      tt.op = sim::txn_op::write;
+      tt.master = txn.master;
+      tt.segments.push_back({ta, std::span<u8>(*buf)});
+      lower.push_back(std::move(tt));
+      flush_txns.push_back(nullptr);
+    }
+    for (const std::size_t fi : new_fetches) {
+      tag_fetches[fi].lower_idx = lower.size();
+      sim::mem_txn tt;
+      tt.op = sim::txn_op::read;
+      tt.master = txn.master;
+      tt.segments.push_back({tag_fetches[fi].line, std::span<u8>(*tag_fetches[fi].buf)});
+      lower.push_back(std::move(tt));
+      flush_txns.push_back(nullptr);
+    }
   }
   flush_lower();
 

@@ -25,6 +25,7 @@
 /// share the hardware.
 
 #include "engine/keyslot_manager.hpp"
+#include "engine/memory_authenticator.hpp"
 #include "sim/memory_port.hpp"
 
 #include <utility>
@@ -61,6 +62,7 @@ struct engine_stats {
   u64 batched_txns = 0;   ///< transactions carried by those batches
   u64 batch_native = 0;   ///< transactions taken by the pipelined batch path
   u64 domain_faults = 0;  ///< cross-domain accesses denied by the firewall
+  u64 integrity_faults = 0; ///< authenticated units that failed verification
   cycles crypto_cycles = 0;
 };
 
@@ -71,6 +73,7 @@ struct domain_stats {
   u64 writes = 0;  ///< protected spans written by this master
   u64 bytes = 0;   ///< payload bytes through protected regions
   u64 faults = 0;  ///< accesses denied (region bound to another master)
+  u64 integrity_faults = 0; ///< tampered units this master fetched
 };
 
 /// Inline encryption stage between the cache level and external memory.
@@ -130,6 +133,28 @@ class bus_encryption_engine final : public sim::memory_port {
   };
   [[nodiscard]] access_span span_for(master_id m, addr_t addr,
                                      std::size_t len) const noexcept;
+
+  /// Guard \p ctx with an authentication scheme over cfg's window (see
+  /// memory_authenticator). The current external content of the window is
+  /// sealed at attach, so a clean run never faults; every later store
+  /// through the engine keeps tags / tree / redundancy in sync. Composes
+  /// with everything the context already does: keyslots (AREA runs inside
+  /// the context's own leased cipher), protection domains (a tampered
+  /// fetch is charged to the issuing master's integrity_faults) and the
+  /// batched pipeline (tag traffic rides the same lower batches).
+  /// \throws std::invalid_argument for a dead context, a second attach,
+  ///         mode none, AREA on a backend without block diffusion
+  ///         (pad-precomputable CTR/stream modes), or any window/tag
+  ///         geometry the authenticator rejects.
+  memory_authenticator& attach_auth(context_id ctx, auth_config cfg);
+
+  /// The authenticator guarding \p ctx, or nullptr (auth_mode none).
+  [[nodiscard]] memory_authenticator* auth_of(context_id ctx) noexcept {
+    return ctx < auths_.size() ? auths_[ctx].get() : nullptr;
+  }
+  [[nodiscard]] const memory_authenticator* auth_of(context_id ctx) const noexcept {
+    return ctx < auths_.size() ? auths_[ctx].get() : nullptr;
+  }
 
   /// Master whose scalar read()/write() calls are being served: always
   /// sim::cpu_master, except while submit() detours a tagged transaction
@@ -200,6 +225,16 @@ class bus_encryption_engine final : public sim::memory_port {
   [[nodiscard]] cycles crypt_span(context_id ctx, addr_t addr, std::span<u8> data,
                                   bool is_write, bool charge_time);
 
+  /// crypt_span's AREA datapath: per-unit expanded payloads through the
+  /// context's leased cipher instead of the in-place unit transform.
+  [[nodiscard]] cycles area_span(memory_authenticator& auth, keyed_cipher& kc,
+                                 const keyslot_key& k, addr_t addr, std::span<u8> data,
+                                 bool is_write, bool charge_time, bool fallback);
+
+  /// Charge one verified-failed unit: engine + per-master counters, the
+  /// bus-error fill already applied by the caller.
+  void note_integrity_fault(master_id m);
+
   [[nodiscard]] cycles transform_units(keyed_cipher& kc, const keyslot_key& k,
                                        addr_t unit_base, std::span<u8> buf,
                                        bool encrypt, bool fallback, bool charge);
@@ -207,11 +242,15 @@ class bus_encryption_engine final : public sim::memory_port {
   /// Record protected-region traffic (or a denial) against \p m.
   void note_domain(master_id m, bool is_write, std::size_t n, bool fault);
 
+  /// \p m's counters, created on first sight (few masters: linear scan).
+  [[nodiscard]] domain_stats& domain_slot(master_id m);
+
   sim::memory_port* lower_;
   keyslot_manager* slots_;
   engine_config cfg_;
   std::vector<keyslot_key> contexts_;
   std::vector<bool> context_live_;
+  std::vector<std::unique_ptr<memory_authenticator>> auths_; ///< by context id
   std::vector<region> regions_;
   std::vector<std::pair<master_id, domain_stats>> domains_; ///< few masters: linear
   master_id active_master_ = sim::cpu_master;

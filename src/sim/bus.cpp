@@ -27,8 +27,9 @@ const std::vector<bus_beat>& recording_probe::log() const {
 
 void external_memory::emit_beats(addr_t addr, std::span<const u8> data, bool write,
                                  cycles at, master_id master) {
-  if (probes_.empty()) return;
   const unsigned bus_bytes = dram_->timing().bus_bytes;
+  beats_ += (data.size() + bus_bytes - 1) / bus_bytes;
+  if (probes_.empty()) return;
   for (std::size_t off = 0; off < data.size(); off += bus_bytes) {
     bus_beat beat;
     beat.addr = addr + off;

@@ -111,6 +111,11 @@ class external_memory final : public memory_port {
   [[nodiscard]] u64 bytes_read() const noexcept { return bytes_read_; }
   [[nodiscard]] u64 bytes_written() const noexcept { return bytes_written_; }
 
+  /// Bus beats driven since construction, probes attached or not — the
+  /// traffic-overhead metric the authentication benches report (a tag
+  /// fetch costs beats, an AREA sideband does not).
+  [[nodiscard]] u64 beats() const noexcept { return beats_; }
+
   [[nodiscard]] dram& backing() noexcept { return *dram_; }
 
  private:
@@ -124,6 +129,7 @@ class external_memory final : public memory_port {
   std::vector<cycles> bank_ready_; ///< per-bank busy-until, absolute time
   u64 bytes_read_ = 0;
   u64 bytes_written_ = 0;
+  u64 beats_ = 0;
 };
 
 } // namespace buscrypt::sim

@@ -5,10 +5,12 @@
 #include "attack/brute.hpp"
 #include "attack/known_plaintext.hpp"
 #include "attack/kuhn.hpp"
+#include "attack/tamper.hpp"
 #include "common/rng.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/des.hpp"
 #include "crypto/modes.hpp"
+#include "sim/bus.hpp"
 
 #include <gtest/gtest.h>
 
@@ -252,6 +254,39 @@ TEST(EcbAnalysis, CbcResistsDictionary) {
   bytes ct(img.size());
   crypto::cbc_encrypt(c, r.random_bytes(16), img, ct);
   EXPECT_EQ(ecb_dictionary_attack(ct, img, 0, 512, 16), 0u);
+}
+
+// --- the engine-level tamper suite's own contract ---------------------------
+
+TEST(EngineTamper, RejectsMalformedTargets) {
+  sim::dram chip(8u << 20);
+  sim::external_memory ext(chip);
+  engine::keyslot_manager slots(engine::backend_registry::builtin(), 4);
+  engine::bus_encryption_engine eng(ext, slots);
+  rng r(3);
+  const auto ctx = eng.create_context({"aes-ctr", r.random_bytes(16), 32});
+  eng.map_region(0, 1u << 20, ctx);
+
+  EXPECT_THROW((void)run_engine_tamper_suite(eng, chip, 0x1001, 0x2000),
+               std::invalid_argument)
+      << "misaligned line";
+  EXPECT_THROW((void)run_engine_tamper_suite(eng, chip, 0x1000, 0x1000),
+               std::invalid_argument)
+      << "identical lines";
+  EXPECT_THROW((void)run_engine_tamper_suite(eng, chip, 0x1000, 2u << 20),
+               std::invalid_argument)
+      << "unmapped line has no context to attack";
+
+  engine::auth_config acfg;
+  acfg.mode = engine::auth_mode::mac;
+  acfg.key = r.random_bytes(16);
+  acfg.base = 0;
+  acfg.limit = 64 * 1024;
+  acfg.tag_base = 6u << 20;
+  (void)eng.attach_auth(ctx, acfg);
+  EXPECT_THROW((void)run_engine_tamper_suite(eng, chip, 0x1000, 128 * 1024),
+               std::invalid_argument)
+      << "lines must fall inside the authenticated window";
 }
 
 } // namespace
