@@ -8,6 +8,7 @@
 #include "edu/soc.hpp"
 #include "sim/workload.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -60,6 +61,31 @@ inline sim::run_stats run_engine(edu::engine_kind kind, const sim::workload& w,
 inline void banner(const std::string& title, const std::string& paper_anchor) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf("(reproduces: %s)\n\n", paper_anchor.c_str());
+}
+
+/// Host wall-clock timer for the simulator-speed fields every BENCH_*.json
+/// carries alongside its simulated bytes/cycle: "host_ms" (wall time) and
+/// "host_ops_per_sec" (simulated port operations retired per host second).
+/// Simulated results are deterministic; these two fields are the only
+/// machine-dependent ones, and CI gates ignore them.
+class host_timer {
+ public:
+  host_timer() : t0_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds elapsed since construction.
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Simulated operations per host second (0 when the clock saw no time).
+[[nodiscard]] inline double host_ops_per_sec(u64 ops, double ms) {
+  return ms <= 0.0 ? 0.0 : static_cast<double>(ops) * 1000.0 / ms;
 }
 
 } // namespace buscrypt::bench

@@ -33,6 +33,7 @@ struct engine_result {
   std::string name;
   buscrypt::sim::throughput_stats scalar;
   buscrypt::sim::throughput_stats batched;
+  double host_ms = 0.0; ///< wall time for both runs of this engine
 
   [[nodiscard]] double speedup() const {
     return scalar.bytes_per_cycle() == 0.0
@@ -57,10 +58,12 @@ int main() {
 
   const bytes image = bench::firmware_image(256 * 1024, 0x5EED);
 
+  const bench::host_timer wall;
   std::vector<engine_result> results;
   for (edu::engine_kind kind : edu::all_engines()) {
     engine_result r;
     r.name = std::string(edu::engine_name(kind));
+    const bench::host_timer engine_wall;
     {
       edu::secure_soc soc(kind, throughput_soc());
       soc.load_image(0, image);
@@ -71,8 +74,12 @@ int main() {
       soc.load_image(0, image);
       r.batched = soc.run_throughput(w, kBatchTxns);
     }
+    r.host_ms = engine_wall.ms();
     results.push_back(std::move(r));
   }
+  const double total_ms = wall.ms();
+  unsigned long long total_ops = 0;
+  for (const engine_result& r : results) total_ops += r.scalar.ops + r.batched.ops;
 
   table t({"engine", "ops", "scalar B/cyc", "batched B/cyc", "speedup"});
   for (const engine_result& r : results)
@@ -92,17 +99,23 @@ int main() {
   }
   std::fprintf(json,
                "{\n  \"bench\": \"tab7_throughput\",\n  \"workload\": \"%s\",\n"
-               "  \"banks\": %u,\n  \"batch_txns\": %zu,\n  \"engines\": [\n",
-               w.name.c_str(), kBanks, kBatchTxns);
+               "  \"banks\": %u,\n  \"batch_txns\": %zu,\n"
+               "  \"host_ms\": %.1f,\n  \"host_ops_per_sec\": %.0f,\n"
+               "  \"engines\": [\n",
+               w.name.c_str(), kBanks, kBatchTxns, total_ms,
+               bench::host_ops_per_sec(total_ops, total_ms));
   for (std::size_t i = 0; i < results.size(); ++i) {
     const engine_result& r = results[i];
     std::fprintf(json,
                  "    {\"engine\": \"%s\", \"ops\": %llu, "
                  "\"scalar_bytes_per_cycle\": %.6f, "
-                 "\"batched_bytes_per_cycle\": %.6f, \"speedup\": %.4f}%s\n",
+                 "\"batched_bytes_per_cycle\": %.6f, \"speedup\": %.4f, "
+                 "\"host_ms\": %.1f, \"host_ops_per_sec\": %.0f}%s\n",
                  r.name.c_str(), static_cast<unsigned long long>(r.scalar.ops),
-                 r.scalar.bytes_per_cycle(), r.batched.bytes_per_cycle(),
-                 r.speedup(), i + 1 == results.size() ? "" : ",");
+                 r.scalar.bytes_per_cycle(), r.batched.bytes_per_cycle(), r.speedup(),
+                 r.host_ms,
+                 bench::host_ops_per_sec(r.scalar.ops + r.batched.ops, r.host_ms),
+                 i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

@@ -98,6 +98,8 @@ int main() {
   constexpr sim::arb_policy kPolicies[] = {sim::arb_policy::round_robin,
                                            sim::arb_policy::fixed_priority};
 
+  const bench::host_timer wall;
+  unsigned long long total_txns = 0;
   std::vector<engine_result> results;
   for (edu::engine_kind kind : edu::all_engines()) {
     engine_result er;
@@ -116,6 +118,7 @@ int main() {
             policy == sim::arb_policy::fixed_priority ? kStarvationLimit : 0;
         const std::vector<edu::master_desc> subset(cast.begin(), cast.begin() + n);
         pr.runs.push_back({n, soc.run_multi_master(subset, mm)});
+        total_txns += pr.runs.back().stats.txns;
       }
       er.policies.push_back(std::move(pr));
     }
@@ -151,11 +154,14 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_multimaster.json\n");
     return 1;
   }
+  const double total_ms = wall.ms();
   std::fprintf(json,
                "{\n  \"bench\": \"tab8_multimaster\",\n  \"banks\": %u,\n"
                "  \"window_txns\": %zu,\n  \"starvation_limit\": %llu,\n"
+               "  \"host_ms\": %.1f,\n  \"host_ops_per_sec\": %.0f,\n"
                "  \"engines\": [\n",
-               kBanks, kWindowTxns, static_cast<unsigned long long>(kStarvationLimit));
+               kBanks, kWindowTxns, static_cast<unsigned long long>(kStarvationLimit),
+               total_ms, bench::host_ops_per_sec(total_txns, total_ms));
   for (std::size_t e = 0; e < results.size(); ++e) {
     const engine_result& er = results[e];
     std::fprintf(json, "    {\"engine\": \"%s\", \"policies\": [\n", er.name.c_str());

@@ -55,6 +55,7 @@ sim::workload streaming_store() {
 struct run_result {
   std::string workload;
   double bytes_per_cycle = 0.0;
+  u64 ops = 0;
   u64 bus_beats = 0;
   double tag_hit_rate = 0.0;
   u64 integrity_faults = 0;
@@ -97,6 +98,7 @@ std::optional<run_result> run_one(const char* backend, engine::auth_mode mode,
   r.workload = w.name;
   const auto st = soc->run_throughput(w, kBatchTxns);
   r.bytes_per_cycle = st.bytes_per_cycle();
+  r.ops = st.ops;
   r.bus_beats = soc->external().beats() - beats_before;
 
   auto& adapter = static_cast<edu::engine_edu&>(soc->engine());
@@ -154,6 +156,7 @@ int main() {
 
   const std::vector<sim::workload> workloads = {mixed_heavy(), streaming_store()};
 
+  const bench::host_timer wall;
   std::vector<engine_result> results;
   for (const char* backend : kBackends) {
     engine_result er;
@@ -227,10 +230,18 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_authenticated.json\n");
     return 1;
   }
+  const double total_ms = wall.ms();
+  unsigned long long total_ops = 0;
+  for (const engine_result& er : results)
+    for (const scheme_result& sr : er.schemes)
+      for (const run_result& r : sr.runs) total_ops += r.ops;
   std::fprintf(json,
                "{\n  \"bench\": \"tab9_authenticated\",\n  \"window_bytes\": %llu,\n"
-               "  \"banks\": %u,\n  \"batch_txns\": %zu,\n  \"engines\": [\n",
-               static_cast<unsigned long long>(kWindow), kBanks, kBatchTxns);
+               "  \"banks\": %u,\n  \"batch_txns\": %zu,\n"
+               "  \"host_ms\": %.1f,\n  \"host_ops_per_sec\": %.0f,\n"
+               "  \"engines\": [\n",
+               static_cast<unsigned long long>(kWindow), kBanks, kBatchTxns, total_ms,
+               bench::host_ops_per_sec(total_ops, total_ms));
   for (std::size_t e = 0; e < results.size(); ++e) {
     const engine_result& er = results[e];
     std::fprintf(json,

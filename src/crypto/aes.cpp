@@ -66,60 +66,62 @@ constexpr u32 sub_word(u32 w) noexcept {
 
 constexpr u32 rot_word(u32 w) noexcept { return rotl32(w, 8); }
 
-// State is FIPS-197 column-major: byte i of the input maps to s[i].
-using state_t = std::array<u8, 16>;
+// ---------------------------------------------------------------------------
+// T-tables: SubBytes + ShiftRows' byte routing + MixColumns fused into one
+// lookup per input byte. Table for row r is rotr(T0, 8r), computed at the
+// lookup, so only the two 1 KiB base tables live in the binary. Derived at
+// compile time from the same S-box/GF helpers as the reference rounds.
+// ---------------------------------------------------------------------------
 
-void add_round_key(state_t& s, const u32* rk) noexcept {
-  for (int c = 0; c < 4; ++c) {
-    const u32 w = rk[c];
-    s[4 * c + 0] ^= static_cast<u8>(w >> 24);
-    s[4 * c + 1] ^= static_cast<u8>(w >> 16);
-    s[4 * c + 2] ^= static_cast<u8>(w >> 8);
-    s[4 * c + 3] ^= static_cast<u8>(w);
+// Encrypt base table: MixColumns column 0 = (2, 1, 1, 3) of S[x].
+constexpr std::array<u32, 256> make_te0() noexcept {
+  std::array<u32, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const u8 s = k_sbox[static_cast<std::size_t>(i)];
+    t[static_cast<std::size_t>(i)] = (u32{gmul(s, 2)} << 24) | (u32{s} << 16) |
+                                     (u32{s} << 8) | u32{gmul(s, 3)};
   }
+  return t;
 }
 
-void sub_bytes(state_t& s) noexcept {
-  for (auto& b : s) b = k_sbox[b];
-}
-
-void inv_sub_bytes(state_t& s) noexcept {
-  for (auto& b : s) b = k_inv_sbox[b];
-}
-
-// Row r of the state lives at indices {r, r+4, r+8, r+12}.
-void shift_rows(state_t& s) noexcept {
-  state_t t = s;
-  for (int r = 1; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) s[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
-}
-
-void inv_shift_rows(state_t& s) noexcept {
-  state_t t = s;
-  for (int r = 1; r < 4; ++r)
-    for (int c = 0; c < 4; ++c) s[r + 4 * ((c + r) % 4)] = t[r + 4 * c];
-}
-
-void mix_columns(state_t& s) noexcept {
-  for (int c = 0; c < 4; ++c) {
-    u8* col = &s[4 * c];
-    const u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<u8>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-    col[1] = static_cast<u8>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-    col[2] = static_cast<u8>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-    col[3] = static_cast<u8>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+// Decrypt base table: InvMixColumns column 0 = (14, 9, 13, 11) of InvS[x].
+constexpr std::array<u32, 256> make_td0() noexcept {
+  std::array<u32, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    const u8 s = k_inv_sbox[static_cast<std::size_t>(i)];
+    t[static_cast<std::size_t>(i)] = (u32{gmul(s, 14)} << 24) | (u32{gmul(s, 9)} << 16) |
+                                     (u32{gmul(s, 13)} << 8) | u32{gmul(s, 11)};
   }
+  return t;
 }
 
-void inv_mix_columns(state_t& s) noexcept {
-  for (int c = 0; c < 4; ++c) {
-    u8* col = &s[4 * c];
-    const u8 a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<u8>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
-    col[1] = static_cast<u8>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
-    col[2] = static_cast<u8>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
-    col[3] = static_cast<u8>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
-  }
+constexpr std::array<u32, 256> k_te0 = make_te0();
+constexpr std::array<u32, 256> k_td0 = make_td0();
+
+constexpr u32 rotr32c(u32 x, unsigned n) noexcept { return (x >> n) | (x << (32 - n)); }
+
+// One fused encrypt-round column: inputs are the state columns holding this
+// output column's row-0..3 bytes after ShiftRows.
+inline u32 te_col(u32 r0, u32 r1, u32 r2, u32 r3) noexcept {
+  return k_te0[(r0 >> 24) & 0xFF] ^ rotr32c(k_te0[(r1 >> 16) & 0xFF], 8) ^
+         rotr32c(k_te0[(r2 >> 8) & 0xFF], 16) ^ rotr32c(k_te0[r3 & 0xFF], 24);
+}
+
+inline u32 td_col(u32 r0, u32 r1, u32 r2, u32 r3) noexcept {
+  return k_td0[(r0 >> 24) & 0xFF] ^ rotr32c(k_td0[(r1 >> 16) & 0xFF], 8) ^
+         rotr32c(k_td0[(r2 >> 8) & 0xFF], 16) ^ rotr32c(k_td0[r3 & 0xFF], 24);
+}
+
+// InvMixColumns over one packed big-endian column word — used to derive the
+// equivalent-inverse-cipher round keys at schedule time.
+constexpr u32 inv_mix_word(u32 w) noexcept {
+  const u8 a0 = static_cast<u8>(w >> 24), a1 = static_cast<u8>(w >> 16);
+  const u8 a2 = static_cast<u8>(w >> 8), a3 = static_cast<u8>(w);
+  const u8 b0 = static_cast<u8>(gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9));
+  const u8 b1 = static_cast<u8>(gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13));
+  const u8 b2 = static_cast<u8>(gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11));
+  const u8 b3 = static_cast<u8>(gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14));
+  return (u32{b0} << 24) | (u32{b1} << 16) | (u32{b2} << 8) | u32{b3};
 }
 
 aes_bits bits_from_key_len(std::size_t n) {
@@ -157,6 +159,20 @@ aes::aes(std::span<const u8> key, aes_bits bits) {
     round_keys_[static_cast<std::size_t>(i)] =
         round_keys_[static_cast<std::size_t>(i - nk_)] ^ temp;
   }
+
+  // Equivalent inverse cipher: decryption consumes the schedule backwards
+  // with InvMixColumns applied to the inner round keys, so the T-table
+  // rounds serve both directions.
+  for (int j = 0; j < 4; ++j)
+    dec_round_keys_[static_cast<std::size_t>(j)] =
+        round_keys_[static_cast<std::size_t>(4 * nr_ + j)];
+  for (int round = 1; round < nr_; ++round)
+    for (int j = 0; j < 4; ++j)
+      dec_round_keys_[static_cast<std::size_t>(4 * round + j)] =
+          inv_mix_word(round_keys_[static_cast<std::size_t>(4 * (nr_ - round) + j)]);
+  for (int j = 0; j < 4; ++j)
+    dec_round_keys_[static_cast<std::size_t>(4 * nr_ + j)] =
+        round_keys_[static_cast<std::size_t>(j)];
 }
 
 std::string_view aes::name() const noexcept {
@@ -169,40 +185,66 @@ std::string_view aes::name() const noexcept {
 
 void aes::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
   check_block(in, out);
-  state_t s;
-  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+  const u32* rk = round_keys_.data();
+  u32 c0 = load_be32(&in[0]) ^ rk[0];
+  u32 c1 = load_be32(&in[4]) ^ rk[1];
+  u32 c2 = load_be32(&in[8]) ^ rk[2];
+  u32 c3 = load_be32(&in[12]) ^ rk[3];
 
-  add_round_key(s, &round_keys_[0]);
   for (int round = 1; round < nr_; ++round) {
-    sub_bytes(s);
-    shift_rows(s);
-    mix_columns(s);
-    add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * round)]);
+    rk += 4;
+    const u32 t0 = te_col(c0, c1, c2, c3) ^ rk[0];
+    const u32 t1 = te_col(c1, c2, c3, c0) ^ rk[1];
+    const u32 t2 = te_col(c2, c3, c0, c1) ^ rk[2];
+    const u32 t3 = te_col(c3, c0, c1, c2) ^ rk[3];
+    c0 = t0;
+    c1 = t1;
+    c2 = t2;
+    c3 = t3;
   }
-  sub_bytes(s);
-  shift_rows(s);
-  add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * nr_)]);
-
-  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+  rk += 4;
+  // Final round: SubBytes + ShiftRows only (no MixColumns).
+  auto last = [](u32 r0, u32 r1, u32 r2, u32 r3) noexcept {
+    return (u32{k_sbox[(r0 >> 24) & 0xFF]} << 24) |
+           (u32{k_sbox[(r1 >> 16) & 0xFF]} << 16) |
+           (u32{k_sbox[(r2 >> 8) & 0xFF]} << 8) | u32{k_sbox[r3 & 0xFF]};
+  };
+  store_be32(&out[0], last(c0, c1, c2, c3) ^ rk[0]);
+  store_be32(&out[4], last(c1, c2, c3, c0) ^ rk[1]);
+  store_be32(&out[8], last(c2, c3, c0, c1) ^ rk[2]);
+  store_be32(&out[12], last(c3, c0, c1, c2) ^ rk[3]);
 }
 
 void aes::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
   check_block(in, out);
-  state_t s;
-  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+  const u32* rk = dec_round_keys_.data();
+  u32 c0 = load_be32(&in[0]) ^ rk[0];
+  u32 c1 = load_be32(&in[4]) ^ rk[1];
+  u32 c2 = load_be32(&in[8]) ^ rk[2];
+  u32 c3 = load_be32(&in[12]) ^ rk[3];
 
-  add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * nr_)]);
-  for (int round = nr_ - 1; round >= 1; --round) {
-    inv_shift_rows(s);
-    inv_sub_bytes(s);
-    add_round_key(s, &round_keys_[static_cast<std::size_t>(4 * round)]);
-    inv_mix_columns(s);
+  // InvShiftRows routes row r of output column j from column (j - r) mod 4.
+  for (int round = 1; round < nr_; ++round) {
+    rk += 4;
+    const u32 t0 = td_col(c0, c3, c2, c1) ^ rk[0];
+    const u32 t1 = td_col(c1, c0, c3, c2) ^ rk[1];
+    const u32 t2 = td_col(c2, c1, c0, c3) ^ rk[2];
+    const u32 t3 = td_col(c3, c2, c1, c0) ^ rk[3];
+    c0 = t0;
+    c1 = t1;
+    c2 = t2;
+    c3 = t3;
   }
-  inv_shift_rows(s);
-  inv_sub_bytes(s);
-  add_round_key(s, &round_keys_[0]);
-
-  for (int i = 0; i < 16; ++i) out[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+  rk += 4;
+  auto last = [](u32 r0, u32 r1, u32 r2, u32 r3) noexcept {
+    return (u32{k_inv_sbox[(r0 >> 24) & 0xFF]} << 24) |
+           (u32{k_inv_sbox[(r1 >> 16) & 0xFF]} << 16) |
+           (u32{k_inv_sbox[(r2 >> 8) & 0xFF]} << 8) | u32{k_inv_sbox[r3 & 0xFF]};
+  };
+  store_be32(&out[0], last(c0, c3, c2, c1) ^ rk[0]);
+  store_be32(&out[4], last(c1, c0, c3, c2) ^ rk[1]);
+  store_be32(&out[8], last(c2, c1, c0, c3) ^ rk[2]);
+  store_be32(&out[12], last(c3, c2, c1, c0) ^ rk[3]);
 }
 
 } // namespace buscrypt::crypto

@@ -18,6 +18,15 @@ namespace buscrypt::crypto {
 enum class aes_bits { k128 = 128, k192 = 192, k256 = 256 };
 
 /// FIPS-197 AES. Immutable after construction; safe to share across threads.
+///
+/// The data path uses T-table rounds: SubBytes, ShiftRows and MixColumns
+/// fuse into four table lookups plus XORs per column — the software
+/// equivalent of the fused round logic the surveyed hardware cores
+/// pipeline, and the hot loop of every simulator run (each EDU pad block,
+/// IV derivation and keyslot unit lands here). Decryption runs the
+/// equivalent inverse cipher over InvMixColumns-transformed round keys, so
+/// both directions are loop-free per byte. Output is bit-identical to the
+/// byte-oriented FIPS-197 reference (the NIST vectors in tests/ pin it).
 class aes final : public block_cipher {
  public:
   /// \param key  16/24/32 bytes matching \p bits.
@@ -39,7 +48,8 @@ class aes final : public block_cipher {
  private:
   int nk_ = 0; // key words
   int nr_ = 0; // rounds
-  std::array<u32, 60> round_keys_{}; // 4*(nr+1) words max (AES-256)
+  std::array<u32, 60> round_keys_{};     // 4*(nr+1) words max (AES-256)
+  std::array<u32, 60> dec_round_keys_{}; // equivalent-inverse-cipher schedule
 };
 
 } // namespace buscrypt::crypto

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hpp"
 #include "crypto/modes.hpp"
+#include "edu/batch.hpp"
 
 #include <stdexcept>
 
@@ -26,6 +27,13 @@ void aegis_edu::derive_iv(addr_t line_addr, u64 nonce, std::span<u8> iv) const {
 u64 aegis_edu::nonce_for(addr_t line_addr) const noexcept {
   const auto it = nonces_.find(line_addr);
   return it == nonces_.end() ? 0 : it->second;
+}
+
+u64 aegis_edu::fresh_nonce(addr_t line_addr) {
+  if (cfg_.iv_mode == aegis_iv_mode::counter) return ++nonces_[line_addr];
+  counter_state_ = counter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+  nonces_[line_addr] = counter_state_;
+  return counter_state_;
 }
 
 cycles aegis_edu::read(addr_t addr, std::span<u8> out) {
@@ -63,6 +71,62 @@ cycles aegis_edu::read(addr_t addr, std::span<u8> out) {
   return mem + crypt;
 }
 
+void aegis_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+  txn_batcher b(*lower_, pending_txn_cycles_);
+  const std::size_t lb = cfg_.line_bytes;
+  const std::size_t nblocks = cfg_.core.blocks_for(lb);
+  for (sim::mem_txn& txn : batch) {
+    b.begin_txn(txn);
+    bool eligible = !txn.segments.empty();
+    for (const sim::txn_segment& seg : txn.segments)
+      if (seg.data.empty() || seg.addr % lb != 0 || seg.data.size() % lb != 0) {
+        eligible = false;
+        break;
+      }
+    if (!eligible) {
+      b.detour_via(txn, *this);
+      continue;
+    }
+    for (sim::txn_segment& seg : txn.segments) {
+      // One count per line, matching scalar issue of the same line ops.
+      for (std::size_t off = 0; off < seg.data.size(); off += lb) {
+        const addr_t a = seg.addr + off;
+        std::span<u8> line = seg.data.subspan(off, lb);
+        stats_.cipher_blocks += nblocks + 1;
+        if (txn.is_write()) {
+          ++stats_.writes;
+          // Fresh nonce in submission order, exactly as scalar issue.
+          const u64 nonce = fresh_nonce(a);
+          bytes& ct = b.scratch_copy(line);
+          bytes iv(cipher_->block_size());
+          derive_iv(a, nonce, iv);
+          crypto::cbc_encrypt(*cipher_, iv, ct, ct);
+          const cycles enc = cfg_.core.time_chained(nblocks) + cfg_.core.latency;
+          stats_.crypto_cycles += enc;
+          b.add_pre(enc);
+          (void)b.queue(sim::txn_op::write, txn.master, a, ct);
+        } else {
+          ++stats_.reads;
+          // Snapshot the nonce now: a later in-window write must not
+          // change the IV this read's ciphertext was produced under.
+          const u64 nonce = nonce_for(a);
+          const std::size_t li = b.queue(sim::txn_op::read, txn.master, a, line);
+          const cycles dec = cfg_.core.time_parallel(nblocks);
+          stats_.crypto_cycles += dec;
+          b.add_gated(li, txn_batcher::no_lower, dec, [this, a, nonce, line] {
+            bytes iv(cipher_->block_size());
+            derive_iv(a, nonce, iv);
+            crypto::cbc_decrypt(*cipher_, iv, line, line);
+          });
+        }
+      }
+    }
+  }
+  b.flush();
+  pending_txn_cycles_ += b.clock();
+}
+
 cycles aegis_edu::write(addr_t addr, std::span<const u8> in) {
   ++stats_.writes;
   if (addr % cfg_.line_bytes != 0 || in.size() != cfg_.line_bytes) {
@@ -84,14 +148,7 @@ cycles aegis_edu::write(addr_t addr, std::span<const u8> in) {
   }
 
   // Fresh nonce per write: random vector or monotonic counter.
-  u64 nonce;
-  if (cfg_.iv_mode == aegis_iv_mode::counter) {
-    nonce = ++nonces_[addr];
-  } else {
-    counter_state_ = counter_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
-    nonce = counter_state_;
-    nonces_[addr] = nonce;
-  }
+  const u64 nonce = fresh_nonce(addr);
 
   bytes iv(cipher_->block_size());
   derive_iv(addr, nonce, iv);

@@ -1,0 +1,198 @@
+#pragma once
+/// \file batch.hpp
+/// The shared staging engine behind the native EDU batch datapaths.
+///
+/// Every surveyed engine overlaps the same three things when it pipelines
+/// a transaction window (Fig. 2a/2b, Tab. 7): work it can do *before* the
+/// bus moves (pre-enciphering writes whose data is already in hand), work
+/// derived from the *address alone* (keystream pads, IV setup) that runs
+/// concurrently with the whole DRAM activate/CAS schedule, and work gated
+/// on each transaction's *own data arrival* (serial ECB/CBC decipher, MAC
+/// verification). txn_batcher models exactly those three lanes over one
+/// lower submit()/drain() window, so each EDU's submit() only states
+/// which lane each job belongs to and what functional transform runs when
+/// the window retires:
+///
+///   - add_pre():   staged serial-core work shipped before the window
+///                  (write encipher) — overlaps the whole bus schedule;
+///   - add_par():   address-derived work (pads) — also overlapped, with a
+///                  per-job tail (the XOR stage) charged after the max;
+///   - add_gated(): serial-core work that cannot start before its lower
+///                  transaction's data arrives; chained across the window
+///                  so it pipelines against *later* fetches but its tail
+///                  is never hidden — a single-transaction window
+///                  degenerates to the scalar mem + crypto time;
+///   - add_local(): on-chip work with no lower traffic (SRAM hits,
+///                  prefetch-buffer hits).
+///
+/// Functional callbacks run in staging order after the lower window
+/// drains, so read deciphers see arrived data and read-after-write inside
+/// one window observes staged effects in submission order — the
+/// \ref txn_contract invariants hold by construction. Transactions the
+/// EDU cannot schedule natively detour through its scalar path: flush()
+/// first (pending native work retires in order), then detour_scalar()
+/// accounts the scalar cycles and stamps the transaction.
+
+#include "common/types.hpp"
+#include "sim/mem_txn.hpp"
+#include "sim/memory_port.hpp"
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace buscrypt::edu {
+
+class txn_batcher {
+ public:
+  /// "No lower transaction" sentinel for the gated/par lanes.
+  static constexpr std::size_t no_lower = static_cast<std::size_t>(-1);
+
+  /// \param lower the port windows are submitted to; referenced.
+  /// \param base  the EDU's cycle accumulator at submit() entry — stamps
+  ///              are relative to the EDU's last drain(), per the contract.
+  txn_batcher(sim::memory_port& lower, cycles base) : port_(&lower), base_(base) {}
+
+  /// Jobs and lower transactions staged until the next begin_txn belong to
+  /// \p txn: its completion stamp is the latest finish among them.
+  void begin_txn(sim::mem_txn& txn) { cur_ = &txn; }
+
+  /// Stable scratch storage for staged ciphertext and fetch buffers; valid
+  /// until the current window's flush-end hooks have run.
+  [[nodiscard]] bytes& scratch(std::size_t size) {
+    aux_.emplace_back(size);
+    return aux_.back();
+  }
+  [[nodiscard]] bytes& scratch_copy(std::span<const u8> data) {
+    aux_.emplace_back(data.begin(), data.end());
+    return aux_.back();
+  }
+
+  /// Queue one lower transaction for the current batch transaction.
+  /// Returns its window index (for arrival gating).
+  std::size_t queue(sim::txn_op op, sim::master_id master, addr_t addr,
+                    std::span<u8> data) {
+    return queue_for(cur_, op, master, addr, data);
+  }
+
+  /// Side traffic (tag lines, metadata) that rides the window but stamps
+  /// no batch transaction.
+  std::size_t queue_side(sim::txn_op op, sim::master_id master, addr_t addr,
+                         std::span<u8> data) {
+    return queue_for(nullptr, op, master, addr, data);
+  }
+
+  /// Staged serial-core work shipped before the window (write encipher).
+  void add_pre(cycles c) { pre_total_ += c; }
+
+  /// Address-derived work overlapped with the whole window; \p tail is the
+  /// per-job stage charged after the overlap (the XOR gate).
+  void add_par(std::size_t lower_idx, cycles c, cycles tail,
+               std::function<void()> fn = {}) {
+    note_owner(cur_);
+    jobs_.push_back({kind::par, lower_idx, no_lower, c, tail, cur_, std::move(fn)});
+  }
+
+  /// Serial-core work gated on the arrival of \p lower_idx (and
+  /// \p lower_idx2 when both a data and a metadata fetch must land first;
+  /// pass no_lower otherwise).
+  void add_gated(std::size_t lower_idx, std::size_t lower_idx2, cycles c,
+                 std::function<void()> fn = {}) {
+    note_owner(cur_);
+    jobs_.push_back({kind::gated, lower_idx, lower_idx2, c, 0, cur_, std::move(fn)});
+  }
+
+  /// On-chip work with no lower traffic, serialised with the gated lane.
+  void add_local(cycles c, std::function<void()> fn = {}) {
+    note_owner(cur_);
+    jobs_.push_back({kind::local, no_lower, no_lower, c, 0, cur_, std::move(fn)});
+  }
+
+  /// Run \p fn after this window's callbacks (scratch still valid) — for
+  /// per-window bookkeeping like tag-cache installs.
+  void at_flush_end(std::function<void()> fn) { end_fns_.push_back(std::move(fn)); }
+
+  /// Anything staged and not yet retired?
+  [[nodiscard]] bool open() const noexcept { return !lower_.empty() || !jobs_.empty(); }
+
+  /// Ship the window: submit + drain the lower transactions, run the
+  /// functional callbacks in staging order, advance the clock by the
+  /// window makespan and stamp every owning transaction.
+  void flush();
+
+  /// Account a scalar detour's cycles and stamp the current transaction.
+  /// Call flush() first so pending native work retires in order.
+  void detour_scalar(cycles c) {
+    clock_ += c;
+    if (cur_ != nullptr) cur_->complete_cycle = base_ + clock_;
+  }
+
+  /// The ordered detour every native path uses for a transaction it cannot
+  /// schedule: flush pending native work, serve \p txn segment by segment
+  /// through \p scalar's read()/write() (the EDU's own scalar datapath),
+  /// and stamp it.
+  void detour_via(sim::mem_txn& txn, sim::memory_port& scalar) {
+    begin_txn(txn);
+    flush();
+    cycles t = 0;
+    for (sim::txn_segment& seg : txn.segments)
+      t += txn.is_write() ? scalar.write(seg.addr, std::span<const u8>(seg.data))
+                          : scalar.read(seg.addr, seg.data);
+    detour_scalar(t);
+  }
+
+  /// Cycles consumed by every window and detour so far (the submit()'s
+  /// contribution to the EDU's accumulator).
+  [[nodiscard]] cycles clock() const noexcept { return clock_; }
+
+  /// Completed windows — EDUs use this to amortise per-window setup
+  /// (decompressor dictionary warm-up) without extra plumbing.
+  [[nodiscard]] u64 flush_seq() const noexcept { return flush_seq_; }
+
+ private:
+  enum class kind : u8 { par, gated, local };
+
+  struct job {
+    kind k;
+    std::size_t li;
+    std::size_t li2;
+    cycles c;
+    cycles tail;
+    sim::mem_txn* owner;
+    std::function<void()> fn;
+  };
+
+  std::size_t queue_for(sim::mem_txn* owner, sim::txn_op op, sim::master_id master,
+                        addr_t addr, std::span<u8> data) {
+    sim::mem_txn lt;
+    lt.op = op;
+    lt.master = master;
+    lt.segments.push_back({addr, data});
+    lower_.push_back(std::move(lt));
+    owners_.push_back(owner);
+    note_owner(owner);
+    return lower_.size() - 1;
+  }
+
+  /// Track owners in staging (= submission) order so stamps stay monotone
+  /// even when a transaction stages only on-chip jobs. Transactions stage
+  /// contiguously, so adjacent dedup suffices.
+  void note_owner(sim::mem_txn* t) {
+    if (t != nullptr && (order_.empty() || order_.back() != t)) order_.push_back(t);
+  }
+
+  sim::memory_port* port_;
+  std::vector<sim::mem_txn> lower_;
+  std::vector<sim::mem_txn*> owners_; ///< aligned with lower_; null = side traffic
+  std::vector<sim::mem_txn*> order_;  ///< owners in staging order, deduped
+  std::deque<bytes> aux_;
+  std::vector<job> jobs_;
+  std::vector<std::function<void()>> end_fns_;
+  cycles pre_total_ = 0;
+  cycles base_;
+  cycles clock_ = 0;
+  u64 flush_seq_ = 0;
+  sim::mem_txn* cur_ = nullptr;
+};
+
+} // namespace buscrypt::edu

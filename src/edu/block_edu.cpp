@@ -2,6 +2,7 @@
 
 #include "common/bitops.hpp"
 #include "crypto/modes.hpp"
+#include "edu/batch.hpp"
 
 #include <stdexcept>
 
@@ -94,6 +95,48 @@ cycles block_edu::read(addr_t addr, std::span<u8> out) {
   const std::size_t head = static_cast<std::size_t>(addr - start);
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = buf[head + i];
   return mem + crypt;
+}
+
+void block_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+  txn_batcher b(*lower_, pending_txn_cycles_);
+  for (sim::mem_txn& txn : batch) {
+    b.begin_txn(txn);
+    bool eligible = !txn.segments.empty();
+    for (const sim::txn_segment& seg : txn.segments)
+      if (seg.data.empty() || seg.addr % granule_ != 0 ||
+          seg.data.size() % granule_ != 0) {
+        eligible = false;
+        break;
+      }
+    if (!eligible) {
+      b.detour_via(txn, *this);
+      continue;
+    }
+    // One count per segment, matching scalar issue of the same ops.
+    for (sim::txn_segment& seg : txn.segments) {
+      if (txn.is_write()) {
+        ++stats_.writes;
+        bytes& ct = b.scratch_copy(seg.data);
+        encrypt_range(seg.addr, ct);
+        const cycles enc = encrypt_time(ct.size());
+        stats_.crypto_cycles += enc;
+        b.add_pre(enc);
+        (void)b.queue(sim::txn_op::write, txn.master, seg.addr, ct);
+      } else {
+        ++stats_.reads;
+        const std::size_t li = b.queue(sim::txn_op::read, txn.master, seg.addr, seg.data);
+        const cycles dec = decrypt_time(seg.data.size());
+        stats_.crypto_cycles += dec;
+        b.add_gated(li, txn_batcher::no_lower, dec,
+                    [this, addr = seg.addr, data = seg.data] {
+                      decrypt_range(addr, data);
+                    });
+      }
+    }
+  }
+  b.flush();
+  pending_txn_cycles_ += b.clock();
 }
 
 cycles block_edu::write(addr_t addr, std::span<const u8> in) {

@@ -40,6 +40,17 @@ class block_edu : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path, shared by every block_edu-family engine (Best-STP,
+  /// DS5240-DES, AES-ECB, AES-CBCline, XOM): granule-aligned writes are
+  /// pre-enciphered up front so the (chained, for CBC) encrypt core runs
+  /// ahead of the DRAM activate/CAS schedule, and the whole window ships
+  /// as one lower submission (multi-bank overlap composes). Deciphers are
+  /// serial-core work gated on each transaction's own data arrival: they
+  /// pipeline against *later* fetches, and a single-transaction window
+  /// degenerates to the scalar mem + crypto time. Sub-granule requests
+  /// (the five-step RMW) detour through the scalar path in order.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   [[nodiscard]] std::size_t preferred_chunk() const noexcept override { return granule_; }
   [[nodiscard]] const block_edu_config& config() const noexcept { return cfg_; }
 

@@ -15,22 +15,23 @@ void cacheside_edu::pad_for(addr_t addr, std::span<u8> pad_out) {
   stats_.cipher_blocks += pad_.blocks_covering(addr, pad_out.size());
 }
 
-cycles cacheside_edu::access(addr_t addr, std::span<u8> inout, bool is_write,
-                             std::span<const u8> wdata) {
+cacheside_edu::access_io cacheside_edu::do_access(addr_t addr, std::span<u8> inout,
+                                                  bool is_write,
+                                                  std::span<const u8> wdata) {
   const bool was_resident = cache_->contains(addr);
   const sim::cache_config& cc = cache_->config();
 
-  cycles below;
+  access_io io;
   if (is_write) {
     // Encrypt the store data, then let the (ciphertext) cache absorb it.
     bytes ct(wdata.begin(), wdata.end());
     bytes pad(ct.size());
     pad_for(addr, pad);
     xor_bytes(ct, pad);
-    below = lower_->write(addr, ct);
+    io.below = lower_->write(addr, ct);
     ++stats_.writes;
   } else {
-    below = lower_->read(addr, inout);
+    io.below = lower_->read(addr, inout);
     bytes pad(inout.size());
     pad_for(addr, pad);
     xor_bytes(inout, pad);
@@ -38,27 +39,55 @@ cycles cacheside_edu::access(addr_t addr, std::span<u8> inout, bool is_write,
   }
 
   // The cipher stage sits on the CPU<->cache path: charged on EVERY access.
-  cycles total = below + cfg_.xor_cycles;
+  io.below += cfg_.xor_cycles;
   stats_.crypto_cycles += cfg_.xor_cycles;
 
   if (!was_resident) {
     // A line (re)entered the cache: its keystream must be regenerated into
     // the keystream RAM. Generation runs concurrently with the external
-    // fetch; only the overrun beyond the fetch is exposed. The fetch time
-    // is what the cache charged beyond its hit latency.
-    const cycles fetch_window = below > cc.hit_latency ? below - cc.hit_latency : 0;
+    // fetch; the fetch time is what the cache charged beyond its hit
+    // latency (and the XOR stage just added).
+    const cycles beyond = cc.hit_latency + cfg_.xor_cycles;
+    io.fetch = io.below > beyond ? io.below - beyond : 0;
     const addr_t line_addr = addr - addr % cc.line_size;
-    const cycles ks =
-        cfg_.pad_core.time_parallel(pad_.blocks_covering(line_addr, cc.line_size));
+    io.ks = cfg_.pad_core.time_parallel(pad_.blocks_covering(line_addr, cc.line_size));
     stats_.cipher_blocks += pad_.blocks_covering(line_addr, cc.line_size);
-    if (ks > fetch_window) {
-      const cycles over = ks - fetch_window;
-      total += over;
-      overrun_ += over;
-      stats_.crypto_cycles += over;
-    }
   }
-  return total;
+  return io;
+}
+
+cycles cacheside_edu::access(addr_t addr, std::span<u8> inout, bool is_write,
+                             std::span<const u8> wdata) {
+  const access_io io = do_access(addr, inout, is_write, wdata);
+  // Scalar issue: only this access's own fetch can hide its regeneration.
+  const cycles over = io.ks > io.fetch ? io.ks - io.fetch : 0;
+  overrun_ += over;
+  stats_.crypto_cycles += over;
+  return io.below + over;
+}
+
+void cacheside_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+  const cycles base = pending_txn_cycles_;
+
+  cycles served = 0;      ///< cache + XOR time, accumulated in order
+  cycles ks_total = 0;    ///< keystream regeneration the window owes
+  cycles fetch_total = 0; ///< external-fetch time it can hide behind
+  for (sim::mem_txn& txn : batch) {
+    for (sim::txn_segment& seg : txn.segments) {
+      const access_io io =
+          do_access(seg.addr, seg.data, txn.is_write(),
+                    std::span<const u8>(seg.data));
+      served += io.below;
+      ks_total += io.ks;
+      fetch_total += io.fetch;
+    }
+    txn.complete_cycle = base + served; // in-order: the cache is serial
+  }
+  const cycles overrun = ks_total > fetch_total ? ks_total - fetch_total : 0;
+  overrun_ += overrun;
+  stats_.crypto_cycles += overrun;
+  pending_txn_cycles_ += served + overrun;
 }
 
 cycles cacheside_edu::read(addr_t addr, std::span<u8> out) {

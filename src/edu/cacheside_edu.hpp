@@ -40,6 +40,15 @@ class cacheside_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path. The cipher stage sits on the CPU<->cache path, so
+  /// there is no lower bus window to overlap — the cache serves the
+  /// transactions in order exactly as scalar issue would. What a batch
+  /// *can* overlap is the keystream RAM refills: each missed line's
+  /// regeneration may run during any other miss's external fetch, so the
+  /// window pays only the excess of the total regeneration over the total
+  /// fetch time (pooled), where scalar issue pays each overrun alone.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   /// Size of the on-chip keystream RAM the scheme requires — by
   /// construction equal to the cache data array ("doubling the integrated
   /// memory size seems to be unaffordable").
@@ -51,6 +60,17 @@ class cacheside_edu final : public edu {
   [[nodiscard]] cycles keystream_overrun_cycles() const noexcept { return overrun_; }
 
  private:
+  /// One access through the (ciphertext) cache, shared by the scalar and
+  /// batched paths: functional transform + cache time, plus the keystream
+  /// refill this access owes and the fetch window it can hide behind
+  /// (nonzero only when the touched line (re)entered the cache).
+  struct access_io {
+    cycles below = 0; ///< cache time + the per-access XOR stage
+    cycles ks = 0;    ///< keystream regeneration owed
+    cycles fetch = 0; ///< external-fetch window available to hide it
+  };
+  [[nodiscard]] access_io do_access(addr_t addr, std::span<u8> inout, bool is_write,
+                                    std::span<const u8> wdata);
   [[nodiscard]] cycles access(addr_t addr, std::span<u8> inout, bool is_write,
                               std::span<const u8> wdata);
   void pad_for(addr_t addr, std::span<u8> pad_out);

@@ -50,6 +50,17 @@ class compress_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path. Code fetches queue their *compressed* group reads
+  /// into one lower window (fewer bus bytes, banks overlapping); the
+  /// address-derived pad runs in parallel with the whole window and the
+  /// streaming decompressor is gated on each group's own arrival. The
+  /// decompressor's fill latency (dictionary warm-up) is paid once per
+  /// window — group state stays hot across a batch, the amortisation a
+  /// scalar stream can never see. Data traffic takes the pad-overlap
+  /// path (writes staged pre-enciphered, reads XORed on arrival).
+  /// Requests straddling the code/data boundary detour in order.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   /// Memory density gain on the installed code ("increase of memory
   /// density of 35%" is CodePack's claim).
   [[nodiscard]] double density_gain() const noexcept { return image_.density_gain(); }

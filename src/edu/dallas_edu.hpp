@@ -14,6 +14,7 @@
 /// latency and the sub-block write penalty a 64-bit block implies.
 
 #include "crypto/toy_cipher.hpp"
+#include "edu/batch.hpp"
 #include "edu/block_edu.hpp"
 
 namespace buscrypt::edu {
@@ -43,6 +44,44 @@ class dallas_byte_edu final : public edu {
     stats_.cipher_blocks += in.size();
     stats_.crypto_cycles += per_access_;
     return lower_->write(addr, ct) + per_access_;
+  }
+
+  /// Native batch path. The byte cipher has no alignment constraints, so
+  /// every transaction batches: writes pre-encipher (combinational logic
+  /// runs ahead of the bus), reads decipher as their beats land — the
+  /// substitution streams with the burst, so only the per-access stage is
+  /// chained after each arrival.
+  void submit(std::span<sim::mem_txn> batch) override {
+    note_batch(batch.size());
+    txn_batcher b(*lower_, pending_txn_cycles_);
+    for (sim::mem_txn& txn : batch) {
+      b.begin_txn(txn);
+      if (txn.segments.empty()) { // nothing to schedule: retire in place
+        b.detour_via(txn, *this);
+        continue;
+      }
+      for (sim::txn_segment& seg : txn.segments) {
+        stats_.cipher_blocks += seg.data.size();
+        stats_.crypto_cycles += per_access_;
+        if (txn.is_write()) {
+          ++stats_.writes;
+          bytes& ct = b.scratch(seg.data.size());
+          cipher_->encrypt_range(seg.addr, seg.data, ct);
+          b.add_pre(per_access_);
+          (void)b.queue(sim::txn_op::write, txn.master, seg.addr, ct);
+        } else {
+          ++stats_.reads;
+          const std::size_t li =
+              b.queue(sim::txn_op::read, txn.master, seg.addr, seg.data);
+          b.add_gated(li, txn_batcher::no_lower, per_access_,
+                      [this, addr = seg.addr, data = seg.data] {
+                        cipher_->decrypt_range(addr, data, data);
+                      });
+        }
+      }
+    }
+    b.flush();
+    pending_txn_cycles_ += b.clock();
   }
 
  private:

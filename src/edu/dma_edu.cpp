@@ -2,7 +2,9 @@
 
 #include "common/bitops.hpp"
 #include "crypto/modes.hpp"
+#include "edu/batch.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace buscrypt::edu {
@@ -42,23 +44,29 @@ cycles dma_edu::encrypt_and_writeback(page_buffer& pb) {
   return std::max(crypt, mem) + cfg_.core.latency;
 }
 
-std::pair<dma_edu::page_buffer*, cycles> dma_edu::fault_in(addr_t page_base) {
+dma_edu::page_buffer* dma_edu::find_buffer(addr_t page_base) noexcept {
+  for (auto& b : buffers_)
+    if (b.valid && b.base == page_base) return &b;
+  return nullptr;
+}
+
+dma_edu::page_buffer* dma_edu::pick_victim() noexcept {
+  page_buffer* victim = &buffers_[0];
   for (auto& b : buffers_) {
-    if (b.valid && b.base == page_base) {
-      b.last_used = ++tick_;
-      return {&b, 0};
-    }
+    if (!b.valid) return &b;
+    if (b.last_used < victim->last_used) victim = &b;
+  }
+  return victim;
+}
+
+std::pair<dma_edu::page_buffer*, cycles> dma_edu::fault_in(addr_t page_base) {
+  if (page_buffer* hit = find_buffer(page_base)) {
+    hit->last_used = ++tick_;
+    return {hit, 0};
   }
 
   ++page_faults_;
-  page_buffer* victim = &buffers_[0];
-  for (auto& b : buffers_) {
-    if (!b.valid) {
-      victim = &b;
-      break;
-    }
-    if (b.last_used < victim->last_used) victim = &b;
-  }
+  page_buffer* victim = pick_victim();
 
   cycles spent = 0;
   if (victim->valid && victim->dirty) spent += encrypt_and_writeback(*victim);
@@ -110,6 +118,93 @@ cycles dma_edu::write(addr_t addr, std::span<const u8> in) {
     done += n;
   }
   return total;
+}
+
+void dma_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+  txn_batcher b(*lower_, pending_txn_cycles_);
+  const std::size_t nblocks = cfg_.core.blocks_for(cfg_.page_bytes);
+  // Buffers whose data is still in flight in the current window: a pending
+  // fill or a store whose copy-in runs at window retirement. Evicting one
+  // would encrypt unsettled bytes, so the window retires first.
+  std::vector<page_buffer*> in_flight;
+  const auto unsettled = [&](const page_buffer* pb) {
+    return std::find(in_flight.begin(), in_flight.end(), pb) != in_flight.end();
+  };
+
+  for (sim::mem_txn& txn : batch) {
+    b.begin_txn(txn);
+    if (txn.segments.empty()) {
+      b.detour_via(txn, *this);
+      in_flight.clear(); // the detour's flush settled every buffer
+      continue;
+    }
+    for (sim::txn_segment& seg : txn.segments) {
+      if (txn.is_write()) ++stats_.writes;
+      else ++stats_.reads;
+      std::size_t done = 0;
+      while (done < seg.data.size()) {
+        const addr_t a = seg.addr + done;
+        const addr_t base = a - a % cfg_.page_bytes;
+        const std::size_t off = static_cast<std::size_t>(a - base);
+        const std::size_t n = std::min(cfg_.page_bytes - off, seg.data.size() - done);
+
+        page_buffer* pb = find_buffer(base);
+        if (pb == nullptr) {
+          ++page_faults_;
+          pb = pick_victim();
+          if (unsettled(pb)) {
+            b.flush();
+            in_flight.clear();
+          }
+          if (pb->valid && pb->dirty) {
+            bytes& ct = b.scratch_copy(pb->data);
+            cipher_page(pb->base, ct, /*encrypt=*/true);
+            const cycles enc = cfg_.core.time_chained(nblocks);
+            stats_.crypto_cycles += enc;
+            b.add_pre(enc + cfg_.core.latency);
+            (void)b.queue(sim::txn_op::write, txn.master, pb->base, ct);
+            pb->dirty = false;
+          }
+          bytes& fill = b.scratch(cfg_.page_bytes);
+          const std::size_t li = b.queue(sim::txn_op::read, txn.master, base, fill);
+          // CBC decryption pipelines behind the incoming burst (the scalar
+          // path's max(mem, crypt)): overlapped work, not arrival-gated.
+          const cycles dec = cfg_.core.time_parallel(nblocks);
+          stats_.crypto_cycles += dec;
+          b.add_par(li, dec, cfg_.core.latency, [this, pb, &fill, base] {
+            std::copy(fill.begin(), fill.end(), pb->data.begin());
+            cipher_page(base, pb->data, /*encrypt=*/false);
+          });
+          pb->valid = true;
+          pb->dirty = false;
+          pb->base = base;
+          in_flight.push_back(pb);
+        }
+        pb->last_used = ++tick_;
+
+        // The access itself: SRAM-latency on-chip work; the data movement
+        // runs at retirement, after any fill for this page has landed.
+        if (txn.is_write()) {
+          pb->dirty = true;
+          if (!unsettled(pb)) in_flight.push_back(pb);
+          b.add_local(cfg_.sram_latency,
+                      [pb, off, src = std::span<const u8>(seg.data.subspan(done, n))] {
+                        std::copy(src.begin(), src.end(),
+                                  pb->data.begin() + static_cast<std::ptrdiff_t>(off));
+                      });
+        } else {
+          b.add_local(cfg_.sram_latency, [pb, off, dst = seg.data.subspan(done, n)] {
+            std::copy_n(pb->data.begin() + static_cast<std::ptrdiff_t>(off), dst.size(),
+                        dst.begin());
+          });
+        }
+        done += n;
+      }
+    }
+  }
+  b.flush();
+  pending_txn_cycles_ += b.clock();
 }
 
 cycles dma_edu::flush() {

@@ -39,6 +39,16 @@ class dma_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path. Page-fault traffic is what batches: every miss in
+  /// the window queues its whole-page fill (and dirty-victim writeback)
+  /// into one lower submission, so the DMA engine overlaps page transfers
+  /// across DRAM banks, pre-enciphers evicted pages ahead of the bus and
+  /// gates each fill's CBC decipher on its own burst arrival. Resident
+  /// accesses stay SRAM-latency on-chip work. A victim whose contents are
+  /// still in flight in the current window (pending fill or staged store)
+  /// retires the window first, so writebacks always encrypt settled data.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   /// Write every dirty page buffer back (encrypting); returns cycles.
   [[nodiscard]] cycles flush();
 
@@ -61,6 +71,11 @@ class dma_edu final : public edu {
   std::pair<page_buffer*, cycles> fault_in(addr_t page_base);
   [[nodiscard]] cycles encrypt_and_writeback(page_buffer& pb);
   void cipher_page(addr_t base, std::span<u8> buf, bool encrypt);
+
+  /// Resident buffer for \p page_base, or nullptr (no LRU touch).
+  [[nodiscard]] page_buffer* find_buffer(addr_t page_base) noexcept;
+  /// Eviction choice: first invalid buffer, else least recently used.
+  [[nodiscard]] page_buffer* pick_victim() noexcept;
 
   const crypto::block_cipher* cipher_;
   dma_edu_config cfg_;

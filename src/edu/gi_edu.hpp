@@ -39,6 +39,17 @@ class gi_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path for reads: every touched segment's whole-chain
+  /// fetch rides one lower window (multi-bank overlap across segments),
+  /// with the pipelined 3-DES decipher and the keyed-hash verification
+  /// chained on the serial units after each segment's own data arrival —
+  /// the MAC unit streams one segment while the bus fetches the next.
+  /// The recently-verified window advances in submission order at staging,
+  /// so hash charges match scalar issue exactly. Writes are whole-segment
+  /// read-modify-write (ciphertext depends on fetched data), so they
+  /// detour through the scalar path in order.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   /// Count of authentication failures detected (tampering).
   [[nodiscard]] u64 auth_failures() const noexcept { return auth_failures_; }
 

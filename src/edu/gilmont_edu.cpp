@@ -1,7 +1,9 @@
 #include "edu/gilmont_edu.hpp"
 
 #include "crypto/modes.hpp"
+#include "edu/batch.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace buscrypt::edu {
@@ -76,6 +78,118 @@ cycles gilmont_edu::read(addr_t addr, std::span<u8> out) {
   stats_.crypto_cycles += crypt;
   if (cfg_.fetch_prediction) prefetch(addr + cfg_.line_bytes);
   return mem + crypt;
+}
+
+void gilmont_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+  txn_batcher b(*lower_, pending_txn_cycles_);
+  const std::size_t lb = cfg_.line_bytes;
+
+  // Window view of the one-deep prefetch buffer. Each background fetch
+  // executes as an uncharged zero-cycle retirement job: after the window's
+  // demand traffic has drained (the prefetcher yields the bus to demand
+  // fetches) but before any later hit's copy-out that depends on it. Its
+  // cycles stay off the critical path, exactly as the scalar model's
+  // fire-and-forget read; wpf_buf points at the staged fill until the
+  // flush hook commits the last one into pf_data_.
+  bool wpf_valid = pf_valid_;
+  addr_t wpf_addr = pf_addr_;
+  bytes* wpf_buf = nullptr; // null = pf_data_ holds settled data
+  bool hooked = false;
+  auto hook = [&] {
+    if (hooked) return;
+    hooked = true;
+    b.at_flush_end([&] {
+      if (wpf_buf != nullptr)
+        std::copy(wpf_buf->begin(), wpf_buf->end(), pf_data_.begin());
+      pf_valid_ = wpf_valid;
+      pf_addr_ = wpf_addr;
+      wpf_buf = nullptr;
+      hooked = false;
+    });
+  };
+  auto prefetch_native = [&](addr_t line_addr) {
+    hook();
+    if (line_addr + lb > cfg_.code_limit) {
+      wpf_valid = false;
+      return;
+    }
+    bytes& buf = b.scratch(lb);
+    b.add_local(0, [this, &buf, line_addr] {
+      (void)lower_->read(line_addr, buf);
+      crypt_line(buf, /*encrypt=*/false);
+    });
+    wpf_valid = true;
+    wpf_addr = line_addr;
+    wpf_buf = &buf;
+  };
+
+  for (sim::mem_txn& txn : batch) {
+    b.begin_txn(txn);
+    // Native: pure data-region segments (either direction) and line-aligned
+    // code-region reads. Everything else — code writes (they must
+    // invalidate the prefetch buffer before any later fetch), unaligned
+    // code reads, boundary straddles — detours in order.
+    bool eligible = !txn.segments.empty();
+    for (const sim::txn_segment& seg : txn.segments) {
+      const bool data_region = seg.addr >= cfg_.code_limit;
+      const bool code_read = !txn.is_write() && seg.addr % lb == 0 &&
+                             seg.data.size() % lb == 0 && !seg.data.empty() &&
+                             seg.addr + seg.data.size() <= cfg_.code_limit;
+      if (!data_region && !code_read) {
+        eligible = false;
+        break;
+      }
+    }
+    if (!eligible) {
+      // The flush inside commits the window's prefetch state into
+      // pf_data_; the scalar detour may then move the predictor, so
+      // resynchronise the window view afterwards.
+      b.detour_via(txn, *this);
+      wpf_valid = pf_valid_;
+      wpf_addr = pf_addr_;
+      wpf_buf = nullptr;
+      continue;
+    }
+    for (sim::txn_segment& seg : txn.segments) {
+      if (seg.addr >= cfg_.code_limit) { // clear-form data passthrough
+        if (txn.is_write()) ++stats_.writes;
+        else ++stats_.reads;
+        (void)b.queue(txn.op, txn.master, seg.addr, seg.data);
+        continue;
+      }
+      for (std::size_t off = 0; off < seg.data.size(); off += lb) {
+        const addr_t a = seg.addr + off;
+        std::span<u8> line = seg.data.subspan(off, lb);
+        ++stats_.reads;
+        if (cfg_.fetch_prediction && wpf_valid && wpf_addr == a) {
+          // Predicted: the line is fetched (or in flight in this very
+          // window) and deciphered by retirement. The copy-out runs at
+          // retirement too — the destination span may double as an
+          // earlier queued write's source (the cache's evict/fill pair
+          // reuses one line buffer).
+          ++prefetch_hits_;
+          bytes* src = wpf_buf;
+          if (src == nullptr) src = &b.scratch_copy(pf_data_);
+          b.add_local(1,
+                      [line, src] { std::copy(src->begin(), src->end(), line.begin()); });
+          wpf_valid = false;
+          prefetch_native(a + lb);
+          continue;
+        }
+        ++prefetch_misses_;
+        const std::size_t li = b.queue(sim::txn_op::read, txn.master, a, line);
+        const cycles crypt =
+            cfg_.encrypt ? cfg_.core.time_parallel(cfg_.core.blocks_for(lb)) : 0;
+        stats_.crypto_cycles += crypt;
+        b.add_gated(li, txn_batcher::no_lower, crypt,
+                    [this, line] { crypt_line(line, /*encrypt=*/false); });
+        if (cfg_.fetch_prediction) prefetch_native(a + lb);
+      }
+    }
+  }
+  b.flush();
+  pending_txn_cycles_ += b.clock();
 }
 
 cycles gilmont_edu::write(addr_t addr, std::span<const u8> in) {

@@ -34,6 +34,18 @@ class gilmont_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path. Data-region traffic is clear-form (the surveyed
+  /// limitation), so it rides the lower window untouched and gets the full
+  /// multi-bank overlap. Line-aligned code fetches keep the fetch
+  /// prediction unit in the loop: predicted lines are served from the
+  /// prefetch buffer at staging (1 cycle, no bus traffic) and the next
+  /// line's background fetch launches immediately — it needs only the
+  /// address, and code writes always detour, so no queued window write can
+  /// alias it; mispredicted lines ride the window with their pipelined
+  /// 3-DES decipher gated on arrival. Code writes and unaligned or
+  /// boundary-crossing requests detour through the scalar path in order.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   [[nodiscard]] std::size_t preferred_chunk() const noexcept override {
     return cfg_.line_bytes;
   }

@@ -2,8 +2,10 @@
 
 #include "common/bitops.hpp"
 #include "crypto/mac.hpp"
+#include "edu/batch.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 namespace buscrypt::edu {
@@ -157,6 +159,174 @@ cycles integrity_edu::write_line(addr_t line_addr, std::span<const u8> in) {
     total += store_tag(line_addr, tag);
   }
   return total;
+}
+
+void integrity_edu::submit(std::span<sim::mem_txn> batch) {
+  note_batch(batch.size());
+  txn_batcher b(*lower_, pending_txn_cycles_);
+  const std::size_t lb = cfg_.line_bytes;
+  const std::size_t nblocks = cfg_.pad_core.blocks_for(lb);
+  const cycles pad_t = cfg_.pad_core.time_parallel(nblocks);
+  const bool authed = cfg_.level != integrity_level::none;
+
+  // Window tag plumbing: deduplicated tag-line fetches riding the same
+  // lower window, plus the tags this window stages (forwarded to later
+  // reads and applied to the on-chip cache at retirement).
+  struct tag_fetch {
+    addr_t line = 0;
+    std::size_t li = 0;
+    bytes* buf = nullptr;
+  };
+  std::vector<tag_fetch> fetches;
+  std::unordered_map<addr_t, std::size_t> fetch_map; ///< tag line -> fetches idx
+  std::unordered_map<addr_t, bytes> staged_tags;     ///< tag addr -> staged tag
+  bool hooked = false;
+  auto hook = [&] {
+    if (hooked) return;
+    hooked = true;
+    b.at_flush_end([&] {
+      // Install fetched tag lines (FIFO, as fetch_tag does) and lay the
+      // window's staged tags on top — the state scalar issue leaves.
+      if (cfg_.tag_cache_entries != 0) {
+        for (const tag_fetch& tf : fetches) {
+          if (tag_cache_.find(tf.line) != tag_cache_.end()) continue;
+          if (tag_cache_fifo_.size() >= cfg_.tag_cache_entries) {
+            tag_cache_.erase(tag_cache_fifo_.front());
+            tag_cache_fifo_.erase(tag_cache_fifo_.begin());
+          }
+          tag_cache_.emplace(tf.line, *tf.buf);
+          tag_cache_fifo_.push_back(tf.line);
+        }
+        for (const auto& [ta, tag] : staged_tags) {
+          const addr_t line = ta - ta % k_tag_line;
+          const auto it = tag_cache_.find(line);
+          if (it == tag_cache_.end()) continue;
+          const std::size_t off = static_cast<std::size_t>(ta - line);
+          std::copy(tag.begin(), tag.end(),
+                    it->second.begin() + static_cast<std::ptrdiff_t>(off));
+        }
+      }
+      fetches.clear();
+      fetch_map.clear();
+      staged_tags.clear();
+      hooked = false;
+    });
+  };
+
+  for (sim::mem_txn& txn : batch) {
+    b.begin_txn(txn);
+    bool eligible = !txn.segments.empty();
+    for (const sim::txn_segment& seg : txn.segments)
+      if (seg.data.empty() || seg.addr % lb != 0 || seg.data.size() % lb != 0) {
+        eligible = false;
+        break;
+      }
+    if (!eligible) {
+      b.detour_via(txn, *this);
+      continue;
+    }
+    for (sim::txn_segment& seg : txn.segments) {
+      if (txn.is_write()) ++stats_.writes;
+      else ++stats_.reads;
+      for (std::size_t off = 0; off < seg.data.size(); off += lb) {
+        const addr_t a = seg.addr + off;
+        std::span<u8> line = seg.data.subspan(off, lb);
+        stats_.cipher_blocks += nblocks;
+        if (txn.is_write()) {
+          u64 v = version_of(a);
+          if (cfg_.level == integrity_level::mac_versioned) v = ++versions_[a];
+          bytes& ct = b.scratch_copy(line);
+          pad_line(a, v, ct);
+          b.add_par(txn_batcher::no_lower, pad_t, 1);
+          stats_.crypto_cycles += pad_t + 1;
+          (void)b.queue(sim::txn_op::write, txn.master, a, ct);
+          if (authed) {
+            const bytes tag = line_tag(a, v, ct);
+            const cycles mac_t = mac_time(lb);
+            stats_.crypto_cycles += mac_t;
+            b.add_pre(mac_t);
+            const addr_t ta = tag_addr(a);
+            // Write-through, exactly as store_tag: the cached copy (if
+            // any) updates now; the DRAM store rides this window.
+            const addr_t tline = ta - ta % k_tag_line;
+            if (const auto it = tag_cache_.find(tline); it != tag_cache_.end()) {
+              const std::size_t toff = static_cast<std::size_t>(ta - tline);
+              std::copy(tag.begin(), tag.end(),
+                        it->second.begin() + static_cast<std::ptrdiff_t>(toff));
+            }
+            staged_tags[ta] = tag;
+            hook();
+            bytes& tb = b.scratch_copy(tag);
+            (void)b.queue_side(sim::txn_op::write, txn.master, ta, tb);
+          }
+          continue;
+        }
+        // Read: snapshot the version now (a later in-window write must not
+        // bleed its bumped version into this line's pad or tag check).
+        const u64 v = version_of(a);
+        const std::size_t li = b.queue(sim::txn_op::read, txn.master, a, line);
+        if (authed) {
+          const addr_t ta = tag_addr(a);
+          const addr_t tline = ta - ta % k_tag_line;
+          const std::size_t toff = static_cast<std::size_t>(ta - tline);
+          std::size_t tag_li = txn_batcher::no_lower;
+          std::function<bytes()> stored;
+          const auto fwd = staged_tags.find(ta);
+          const auto cached = tag_cache_.find(tline);
+          if (cfg_.tag_cache_entries != 0 && fwd != staged_tags.end()) {
+            // In-flush forwarding: the tag a write staged moments ago.
+            ++tag_hits_;
+            stored = [tag = fwd->second] { return tag; };
+          } else if (cfg_.tag_cache_entries != 0 && cached != tag_cache_.end()) {
+            ++tag_hits_;
+            const auto* line_bytes = &cached->second;
+            bytes tag(line_bytes->begin() + static_cast<std::ptrdiff_t>(toff),
+                      line_bytes->begin() +
+                          static_cast<std::ptrdiff_t>(toff + cfg_.tag_bytes));
+            stored = [tag = std::move(tag)] { return tag; };
+          } else {
+            ++tag_misses_;
+            std::size_t idx;
+            if (cfg_.tag_cache_entries == 0) {
+              // Naive design: one tag fetch per access, nothing retained.
+              bytes& fb = b.scratch(k_tag_line);
+              idx = fetches.size();
+              fetches.push_back({tline, b.queue_side(sim::txn_op::read, txn.master,
+                                                     tline, fb),
+                                 &fb});
+            } else {
+              const auto [it, inserted] = fetch_map.try_emplace(tline, fetches.size());
+              if (inserted) {
+                bytes& fb = b.scratch(k_tag_line);
+                fetches.push_back({tline, b.queue_side(sim::txn_op::read, txn.master,
+                                                       tline, fb),
+                                   &fb});
+              }
+              idx = it->second;
+            }
+            hook();
+            tag_li = fetches[idx].li;
+            stored = [buf = fetches[idx].buf, toff, n = cfg_.tag_bytes] {
+              return bytes(buf->begin() + static_cast<std::ptrdiff_t>(toff),
+                           buf->begin() + static_cast<std::ptrdiff_t>(toff + n));
+            };
+          }
+          // The serial MAC unit starts once data AND tag have arrived;
+          // verification consumes the ciphertext before the pad pass.
+          const cycles mac_t = mac_time(lb);
+          stats_.crypto_cycles += mac_t;
+          b.add_gated(li, tag_li, mac_t, [this, a, v, line, stored = std::move(stored)] {
+            const bytes expect = line_tag(a, v, line);
+            if (!crypto::tag_equal(expect, stored())) ++tamper_events_;
+          });
+        }
+        stats_.crypto_cycles += 1; // the XOR stage
+        b.add_par(li, pad_t, 1, [this, a, v, line] { pad_line(a, v, line); });
+      }
+    }
+  }
+  b.flush();
+  pending_txn_cycles_ += b.clock();
 }
 
 cycles integrity_edu::read(addr_t addr, std::span<u8> out) {

@@ -57,6 +57,21 @@ class integrity_edu final : public edu {
   [[nodiscard]] cycles read(addr_t addr, std::span<u8> out) override;
   [[nodiscard]] cycles write(addr_t addr, std::span<const u8> in) override;
 
+  /// Native batch path for line-aligned transactions. Writes pre-encipher
+  /// (the pad is address+version-derived and the data is in hand) and
+  /// pre-MAC at staging; their ciphertext lines *and* their tag stores
+  /// ride the same lower window. Reads queue their line fetch plus — when
+  /// the tag misses on chip — one deduplicated tag-line fetch per window;
+  /// the serial MAC unit then verifies each line once its data and its tag
+  /// line have both arrived, pipelining against later fetches, while the
+  /// precomputable pad overlaps the whole window. Versions and tags are
+  /// snapshotted in submission order, and tags written earlier in the same
+  /// window forward to later reads (in-flush staged-tag forwarding), so a
+  /// read never sees a stale or future tag. Fetched tag lines install into
+  /// the on-chip cache when the window retires, with the window's staged
+  /// tags applied on top. Sub-line requests detour in order.
+  void submit(std::span<sim::mem_txn> batch) override;
+
   [[nodiscard]] std::size_t preferred_chunk() const noexcept override {
     return cfg_.line_bytes;
   }

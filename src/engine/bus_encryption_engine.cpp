@@ -210,6 +210,27 @@ cycles bus_encryption_engine::transform_units(keyed_cipher& kc, const keyslot_ke
   return t;
 }
 
+cycles bus_encryption_engine::transform_units_bulk(keyed_cipher& kc,
+                                                   const keyslot_key& k,
+                                                   addr_t unit_base, std::span<u8> buf,
+                                                   bool encrypt, bool fallback,
+                                                   bool charge) {
+  const std::size_t du = k.data_unit_size;
+  if (!kc.pad_precomputable() || buf.empty() || unit_base % du != 0 ||
+      buf.size() % du != 0)
+    return transform_units(kc, k, unit_base, buf, encrypt, fallback, charge);
+  bytes pad(buf.size());
+  kc.generate_pads(unit_base / du, du, pad);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] ^= pad[i];
+  if (!charge) return 0;
+  const cycles n = static_cast<cycles>(buf.size() / du);
+  cycles c = kc.unit_cost(du, encrypt);
+  if (fallback) c *= cfg_.fallback_penalty;
+  stats_.crypto_cycles += c * n;
+  stats_.units += n;
+  return c * n;
+}
+
 bus_encryption_engine::slot_lease
 bus_encryption_engine::lease_slot(const keyslot_key& k, bool charge_time, bool hw_only) {
   slot_lease lease;
@@ -611,8 +632,11 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
         finish[pr.txn_idx] = std::max(finish[pr.txn_idx], engine_done);
         continue;
       }
-      const cycles c = transform_units(*pr.kc, *pr.key, pr.addr, pr.data,
-                                       /*encrypt=*/false, pr.fallback, /*charge=*/true);
+      // Pad-precomputable reads take the bulk-keystream datapath: the
+      // segment's whole pad in one generate_pads call, XORed on arrival.
+      const cycles c =
+          transform_units_bulk(*pr.kc, *pr.key, pr.addr, pr.data,
+                               /*encrypt=*/false, pr.fallback, /*charge=*/true);
       if (pr.kc->pad_precomputable()) {
         par_crypto += c;
       } else {
@@ -765,8 +789,9 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
             }
           }
         } else {
-          const cycles c = transform_units(*kc, k, seg.addr, staged.back(),
-                                           /*encrypt=*/true, fallback, /*charge=*/true);
+          const cycles c =
+              transform_units_bulk(*kc, k, seg.addr, staged.back(),
+                                   /*encrypt=*/true, fallback, /*charge=*/true);
           // Write data is in hand at staging time: precomputable pads overlap
           // the bus, block-mode encipher occupies the serial core up front.
           if (kc->pad_precomputable()) par_crypto += c;

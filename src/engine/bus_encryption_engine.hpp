@@ -239,6 +239,15 @@ class bus_encryption_engine final : public sim::memory_port {
                                        addr_t unit_base, std::span<u8> buf,
                                        bool encrypt, bool fallback, bool charge);
 
+  /// transform_units via one bulk keystream call (generate_pads) plus one
+  /// XOR pass — the batch path's hot loop for pad-precomputable backends
+  /// (CTR, streams). Byte-identical to transform_units with identical
+  /// charged cycles and stats; falls back to it for block modes or
+  /// unit-unaligned spans.
+  [[nodiscard]] cycles transform_units_bulk(keyed_cipher& kc, const keyslot_key& k,
+                                            addr_t unit_base, std::span<u8> buf,
+                                            bool encrypt, bool fallback, bool charge);
+
   /// Record protected-region traffic (or a denial) against \p m.
   void note_domain(master_id m, bool is_write, std::size_t n, bool fault);
 

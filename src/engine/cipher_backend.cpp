@@ -27,11 +27,14 @@ void check_unit(std::size_t granule, std::span<const u8> in, std::span<const u8>
     throw std::invalid_argument("keyed_cipher: unit not a multiple of the cipher granule");
 }
 
-/// Keyed block cipher + mode over data units.
+/// Keyed block cipher + mode over data units. Holds its expanded core by
+/// shared_ptr: cores come from the backend's schedule cache, so several
+/// keyed instances of one key (slots, fallbacks, probes) share one
+/// expansion.
 class block_keyed final : public keyed_cipher {
  public:
   block_keyed(std::string name, unit_mode mode, backend_cost cost,
-              std::unique_ptr<crypto::block_cipher> cipher)
+              std::shared_ptr<const crypto::block_cipher> cipher)
       : name_(std::move(name)), mode_(mode), cost_(cost), cipher_(std::move(cipher)) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
@@ -53,6 +56,37 @@ class block_keyed final : public keyed_cipher {
 
   [[nodiscard]] bool pad_precomputable() const noexcept override {
     return mode_ == unit_mode::ctr;
+  }
+
+  void generate_pads(u64 first_dun, std::size_t unit_len, std::span<u8> out) override {
+    if (mode_ != unit_mode::ctr) { // fall back to the zero-encipher default
+      keyed_cipher::generate_pads(first_dun, unit_len, out);
+      return;
+    }
+    // Direct CTR pad fill: E(counter block) written straight into the
+    // batch buffer — same bytes ctr_crypt produces, no zero input pass.
+    const std::size_t bs = cipher_->block_size();
+    bytes counter_block(bs, 0);
+    bytes pad(bs);
+    for (std::size_t uoff = 0; uoff < out.size(); uoff += unit_len) {
+      const u64 dun = first_dun + uoff / unit_len;
+      u64 ctr = dun << 16;
+      std::size_t off = 0;
+      while (off < unit_len) {
+        if (bs >= 16) {
+          store_be64(counter_block.data(), k_ctr_tweak);
+          store_be64(counter_block.data() + bs - 8, ctr);
+        } else {
+          store_be64(counter_block.data(), k_ctr_tweak ^ ctr);
+        }
+        cipher_->encrypt_block(counter_block, pad);
+        const std::size_t n = std::min(bs, unit_len - off);
+        std::copy_n(pad.begin(), n,
+                    out.begin() + static_cast<std::ptrdiff_t>(uoff + off));
+        off += n;
+        ++ctr;
+      }
+    }
   }
 
  private:
@@ -86,7 +120,7 @@ class block_keyed final : public keyed_cipher {
   std::string name_; // owned: keyed instances outlive their backend in keyslots
   unit_mode mode_;
   backend_cost cost_;
-  std::unique_ptr<crypto::block_cipher> cipher_;
+  std::shared_ptr<const crypto::block_cipher> cipher_;
 };
 
 /// Keyed stream cipher: reseed(key, DUN-iv) per unit.
@@ -111,6 +145,18 @@ class stream_keyed final : public keyed_cipher {
 
   [[nodiscard]] bool pad_precomputable() const noexcept override { return true; }
 
+  void generate_pads(u64 first_dun, std::size_t unit_len, std::span<u8> out) override {
+    // Bulk keystream: one reseed per unit, generated straight into the
+    // batch pad buffer — no per-unit copy + XOR round trip.
+    u8 iv[8];
+    for (std::size_t uoff = 0; uoff < out.size(); uoff += unit_len) {
+      store_le64(iv, first_dun + uoff / unit_len);
+      if (!gen_) gen_ = make_(key_, iv);
+      else gen_->reseed(key_, iv);
+      gen_->keystream(out.subspan(uoff, unit_len));
+    }
+  }
+
  private:
   void crypt(u64 dun, std::span<const u8> in, std::span<u8> out) {
     check_unit(1, in, out);
@@ -131,6 +177,18 @@ class stream_keyed final : public keyed_cipher {
 
 } // namespace
 
+// --- keyed_cipher -----------------------------------------------------------
+
+void keyed_cipher::generate_pads(u64 first_dun, std::size_t unit_len, std::span<u8> out) {
+  // Exact for any XOR-pad cipher: pad == E(0). Non-pad modes never call
+  // this (pad_precomputable() is the caller's gate).
+  if (unit_len == 0 || out.size() % unit_len != 0)
+    throw std::invalid_argument("generate_pads: out must be whole units");
+  const bytes zeros(unit_len, 0);
+  for (std::size_t off = 0; off < out.size(); off += unit_len)
+    encrypt_unit(first_dun + off / unit_len, zeros, out.subspan(off, unit_len));
+}
+
 // --- block_backend ----------------------------------------------------------
 
 block_backend::block_backend(std::string name, unit_mode mode, backend_cost cost,
@@ -149,10 +207,33 @@ std::size_t block_backend::max_data_unit_size() const noexcept {
                                  : std::numeric_limits<std::size_t>::max();
 }
 
+std::shared_ptr<const crypto::block_cipher>
+block_backend::expanded_core(std::span<const u8> key) const {
+  ++sched_tick_;
+  for (sched_entry& e : sched_cache_) {
+    if (e.key.size() == key.size() && std::equal(key.begin(), key.end(), e.key.begin())) {
+      e.tick = sched_tick_;
+      ++sched_hits_;
+      return e.core;
+    }
+  }
+  ++sched_expansions_;
+  std::shared_ptr<const crypto::block_cipher> core = make_(key);
+  if (sched_cache_.size() >= k_sched_cache_entries) {
+    auto lru = sched_cache_.begin();
+    for (auto it = sched_cache_.begin(); it != sched_cache_.end(); ++it)
+      if (it->tick < lru->tick) lru = it;
+    *lru = {bytes(key.begin(), key.end()), core, sched_tick_};
+  } else {
+    sched_cache_.push_back({bytes(key.begin(), key.end()), core, sched_tick_});
+  }
+  return core;
+}
+
 std::unique_ptr<keyed_cipher> block_backend::make_keyed(std::span<const u8> key) const {
   if (!key_len_ok(key.size()))
     throw std::invalid_argument("backend " + name_ + ": unsupported key length");
-  return std::make_unique<block_keyed>(name_, mode_, cost_, make_(key));
+  return std::make_unique<block_keyed>(name_, mode_, cost_, expanded_core(key));
 }
 
 // --- stream_backend ---------------------------------------------------------

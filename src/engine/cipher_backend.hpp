@@ -77,10 +77,23 @@ class keyed_cipher {
   /// in parallel with the external fetch — the survey's Fig. 2a overlap.
   /// False for ECB/CBC, whose decrypt causally needs the fetched ciphertext.
   [[nodiscard]] virtual bool pad_precomputable() const noexcept { return false; }
+
+  /// Bulk keystream: fill \p out with the pads of consecutive data units
+  /// starting at \p first_dun (\p unit_len bytes each; out.size() must be
+  /// a multiple), in one call — the whole batch's pad in one pass, no
+  /// per-unit buffers. Only meaningful when pad_precomputable(); the
+  /// default derives each pad by enciphering zeros, which is exact for any
+  /// XOR-pad cipher (pad == E(0)). Overridden by the CTR and stream
+  /// backends to write the keystream straight into \p out.
+  virtual void generate_pads(u64 first_dun, std::size_t unit_len, std::span<u8> out);
 };
 
-/// An algorithm+mode the engine can be programmed with. Stateless and
-/// immutable: the registry owns one instance per capability.
+/// An algorithm+mode the engine can be programmed with. Functionally
+/// immutable — make_keyed() for a given key always mints the same
+/// transform — though an implementation may keep internal host-side
+/// caches (block_backend's key-schedule cache). The registry owns one
+/// instance per capability; like the rest of the simulator, instances are
+/// single-threaded (the builtin() singleton's caches are not locked).
 class cipher_backend {
  public:
   virtual ~cipher_backend() = default;
@@ -114,6 +127,16 @@ enum class unit_mode {
 };
 
 /// Backend adapting any crypto::block_cipher factory to the unit contract.
+///
+/// Expanded key schedules are cached per key material (the slot
+/// generation's identity): programming a slot, minting a software-fallback
+/// instance, or probing a context with a key the backend has seen recently
+/// shares one immutable expanded core instead of re-running key expansion
+/// — the fix for the schedule re-expansion that used to ride every
+/// contended crypt_span call. The cache is small (LRU-bounded), holds the
+/// cores by shared_ptr (keyed instances stay valid across eviction), and
+/// is purely a host-speed optimisation: simulated slot-program cycles are
+/// still charged by the engine.
 class block_backend final : public cipher_backend {
  public:
   using factory = std::function<std::unique_ptr<crypto::block_cipher>(std::span<const u8>)>;
@@ -128,12 +151,33 @@ class block_backend final : public cipher_backend {
   [[nodiscard]] backend_cost cost() const noexcept override { return cost_; }
   [[nodiscard]] std::size_t max_data_unit_size() const noexcept override;
 
+  /// Schedule-cache effectiveness (host-speed telemetry, test hook).
+  [[nodiscard]] u64 schedule_hits() const noexcept { return sched_hits_; }
+  [[nodiscard]] u64 schedule_expansions() const noexcept { return sched_expansions_; }
+
  private:
+  /// Bound chosen to cover a keyslot pool plus in-flight contexts; beyond
+  /// it the LRU entry is dropped (its keyed instances keep their core).
+  static constexpr std::size_t k_sched_cache_entries = 16;
+
+  struct sched_entry {
+    bytes key;
+    std::shared_ptr<const crypto::block_cipher> core;
+    u64 tick = 0;
+  };
+
+  [[nodiscard]] std::shared_ptr<const crypto::block_cipher>
+  expanded_core(std::span<const u8> key) const;
+
   std::string name_;
   unit_mode mode_;
   backend_cost cost_;
   std::vector<std::size_t> key_lens_;
   factory make_;
+  mutable std::vector<sched_entry> sched_cache_;
+  mutable u64 sched_tick_ = 0;
+  mutable u64 sched_hits_ = 0;
+  mutable u64 sched_expansions_ = 0;
 };
 
 /// Backend adapting any crypto::stream_cipher factory: the generator is
