@@ -209,6 +209,12 @@ std::size_t block_backend::max_data_unit_size() const noexcept {
 
 std::shared_ptr<const crypto::block_cipher>
 block_backend::expanded_core(std::span<const u8> key) const {
+  // One lock covers lookup, insert and telemetry: the backend instance is
+  // shared process-wide (builtin()), so fleet worker threads race here.
+  // Expansion itself runs under the lock too — double expansion of one
+  // key would be functionally harmless (cores for a key are identical)
+  // but would make the hits+expansions == calls invariant flaky.
+  std::lock_guard<std::mutex> lock(sched_mu_);
   ++sched_tick_;
   for (sched_entry& e : sched_cache_) {
     if (e.key.size() == key.size() && std::equal(key.begin(), key.end(), e.key.begin())) {
@@ -228,6 +234,16 @@ block_backend::expanded_core(std::span<const u8> key) const {
     sched_cache_.push_back({bytes(key.begin(), key.end()), core, sched_tick_});
   }
   return core;
+}
+
+u64 block_backend::schedule_hits() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return sched_hits_;
+}
+
+u64 block_backend::schedule_expansions() const {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  return sched_expansions_;
 }
 
 std::unique_ptr<keyed_cipher> block_backend::make_keyed(std::span<const u8> key) const {

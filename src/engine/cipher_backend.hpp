@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -92,8 +93,12 @@ class keyed_cipher {
 /// immutable — make_keyed() for a given key always mints the same
 /// transform — though an implementation may keep internal host-side
 /// caches (block_backend's key-schedule cache). The registry owns one
-/// instance per capability; like the rest of the simulator, instances are
-/// single-threaded (the builtin() singleton's caches are not locked).
+/// instance per capability. Thread-safety contract (the fleet runner
+/// shares builtin() across SoC worker threads): const member functions,
+/// make_keyed() included, must be safe to call concurrently; any internal
+/// cache is the implementation's job to synchronise (block_backend locks
+/// its schedule cache). The keyed_cipher instances minted are NOT shared
+/// — each caller owns its own and runs it single-threaded.
 class cipher_backend {
  public:
   virtual ~cipher_backend() = default;
@@ -137,6 +142,13 @@ enum class unit_mode {
 /// cores by shared_ptr (keyed instances stay valid across eviction), and
 /// is purely a host-speed optimisation: simulated slot-program cycles are
 /// still charged by the engine.
+///
+/// Ownership story under the fleet runner: the cache lives in the backend
+/// instance — usually the process-wide builtin() registry shared by every
+/// SoC on every worker thread — so it is internally locked. The lock
+/// covers only the lookup/insert; expansion output for a given key is
+/// deterministic, so cache state can never change simulated results, only
+/// host speed and the hits/expansions telemetry.
 class block_backend final : public cipher_backend {
  public:
   using factory = std::function<std::unique_ptr<crypto::block_cipher>(std::span<const u8>)>;
@@ -152,8 +164,11 @@ class block_backend final : public cipher_backend {
   [[nodiscard]] std::size_t max_data_unit_size() const noexcept override;
 
   /// Schedule-cache effectiveness (host-speed telemetry, test hook).
-  [[nodiscard]] u64 schedule_hits() const noexcept { return sched_hits_; }
-  [[nodiscard]] u64 schedule_expansions() const noexcept { return sched_expansions_; }
+  /// Counters are read under the cache lock; across threads their sum
+  /// equals the make_keyed() call count, but the hit/expansion split
+  /// depends on interleaving.
+  [[nodiscard]] u64 schedule_hits() const;
+  [[nodiscard]] u64 schedule_expansions() const;
 
  private:
   /// Bound chosen to cover a keyslot pool plus in-flight contexts; beyond
@@ -174,6 +189,9 @@ class block_backend final : public cipher_backend {
   backend_cost cost_;
   std::vector<std::size_t> key_lens_;
   factory make_;
+  /// Guards the schedule cache and its telemetry: one backend instance is
+  /// shared by every SoC in a fleet run (via builtin()).
+  mutable std::mutex sched_mu_;
   mutable std::vector<sched_entry> sched_cache_;
   mutable u64 sched_tick_ = 0;
   mutable u64 sched_hits_ = 0;
@@ -224,7 +242,13 @@ class backend_registry {
 
   /// Process-wide registry preloaded with the crypto/ primitives:
   /// aes-ecb/cbc/ctr (16/24/32-byte keys), des-cbc, 3des-cbc/ctr, best-ecb,
-  /// rc4/lfsr/trivium stream backends.
+  /// rc4/lfsr/trivium stream backends. Immutable after first use: the
+  /// returned reference is const, construction is the C++11 thread-safe
+  /// magic-static, and nothing in the repo mutates it afterwards — so
+  /// concurrent SoCs (the fleet runner's worker threads) may resolve and
+  /// mint backends through it freely. Code that wants a *mutable* registry
+  /// (tests registering toy backends) builds its own instance; those are
+  /// single-threaded like the rest of the simulator.
   [[nodiscard]] static const backend_registry& builtin();
 
  private:

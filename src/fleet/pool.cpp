@@ -1,0 +1,110 @@
+#include "fleet/pool.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace buscrypt::fleet {
+
+namespace {
+
+/// One worker's job deque. A plain mutex per deque: owners and thieves
+/// contend only when they actually touch the same worker's queue.
+struct worker_deque {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+
+  /// Owner side: LIFO from the back (cache-warm, newest first).
+  bool pop_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+
+  /// Thief side: FIFO from the front (oldest — likely the biggest share
+  /// of remaining work under round-robin seeding).
+  bool steal_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+};
+
+} // namespace
+
+pool_stats run_jobs(std::size_t n, unsigned threads,
+                    const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  pool_stats stats;
+  if (n == 0) {
+    stats.threads = 0;
+    return stats;
+  }
+
+  if (threads == 1 || n == 1) {
+    // Serial reference path: same jobs, same order, no worker machinery.
+    stats.threads = 1;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    stats.executed = n;
+    return stats;
+  }
+  if (threads > n) threads = static_cast<unsigned>(n);
+
+  std::vector<worker_deque> deques(threads);
+  for (std::size_t i = 0; i < n; ++i)
+    deques[i % threads].jobs.push_back(i); // pre-start: no locking needed
+
+  std::atomic<u64> executed{0};
+  std::atomic<u64> steals{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&](unsigned self) {
+    std::size_t job = 0;
+    while (!failed.load(std::memory_order_relaxed)) {
+      bool got = deques[self].pop_back(job);
+      u64 stole = 0;
+      for (unsigned v = 1; !got && v < threads; ++v) {
+        got = deques[(self + v) % threads].steal_front(job);
+        stole = 1;
+      }
+      // All deques empty: done. Jobs never enqueue new jobs, so an empty
+      // sweep can never be followed by fresh work appearing.
+      if (!got) return;
+      steals.fetch_add(stole, std::memory_order_relaxed);
+      try {
+        fn(job);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  stats.threads = threads;
+  stats.executed = executed.load();
+  stats.steals = steals.load();
+  return stats;
+}
+
+} // namespace buscrypt::fleet

@@ -1,0 +1,45 @@
+#pragma once
+/// \file pool.hpp
+/// Work-stealing thread pool for the fleet runner. Jobs are independent
+/// by contract (each one simulates a whole SoC); the pool only decides
+/// *which host thread* runs each job, never in what order results are
+/// reported — so scheduling nondeterminism can never leak into fleet
+/// output. Stealing is what keeps the pool busy under the fleet's wildly
+/// skewed cell costs (a GI-3DES cell is ~1000x a Best-STP cell on the
+/// host): workers that drain their own deque pull from the tail of a
+/// busy victim's instead of idling.
+
+#include "common/types.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace buscrypt::fleet {
+
+/// What one pool run did on the host (telemetry, not simulation state).
+struct pool_stats {
+  unsigned threads = 0; ///< workers actually spawned
+  u64 executed = 0;     ///< jobs run (== n on success)
+  u64 steals = 0;       ///< jobs a worker took from another's deque
+};
+
+/// Run fn(0) .. fn(n-1) across \p threads workers and block until done.
+///
+/// Each worker owns a deque seeded round-robin with job indices; owners
+/// pop LIFO from the back, idle workers steal FIFO from the front of the
+/// first non-empty victim. Deques are mutex-guarded (simplicity and
+/// TSan-provable correctness over lock-free cleverness — each job is a
+/// whole SoC simulation, so queue overhead is noise).
+///
+/// \param threads worker count; 0 = std::thread::hardware_concurrency()
+///        (minimum 1). threads == 1 runs the jobs inline in index order —
+///        the serial reference the determinism tests compare against.
+/// \param fn called concurrently for distinct indices; must synchronise
+///        any shared state itself.
+///
+/// The first exception a job throws is rethrown here after every worker
+/// has stopped; remaining queued jobs are skipped once a job has thrown.
+pool_stats run_jobs(std::size_t n, unsigned threads,
+                    const std::function<void(std::size_t)>& fn);
+
+} // namespace buscrypt::fleet
