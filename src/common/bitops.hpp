@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cstddef>
+#include <cstring>
 #include <span>
 
 namespace buscrypt {
@@ -81,9 +82,37 @@ constexpr void store_le64(u8* p, u64 v) noexcept {
 }
 
 /// XOR \p src into \p dst element-wise; buffers must be the same length.
+/// Runs u64-at-a-time over the aligned body (memcpy keeps it well-defined
+/// for any alignment and lets the compiler emit vector loads) with a byte
+/// tail, so pad/payload XORs are not byte loops.
 inline void xor_bytes(std::span<u8> dst, std::span<const u8> src) noexcept {
   const std::size_t n = dst.size() < src.size() ? dst.size() : src.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 a, b;
+    std::memcpy(&a, dst.data() + i, 8);
+    std::memcpy(&b, src.data() + i, 8);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+/// dst = a ^ b element-wise over min of the three lengths; dst may alias
+/// either input. Same u64-wide body as xor_bytes.
+inline void xor_bytes(std::span<u8> dst, std::span<const u8> a,
+                      std::span<const u8> b) noexcept {
+  std::size_t n = dst.size() < a.size() ? dst.size() : a.size();
+  n = n < b.size() ? n : b.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 x, y;
+    std::memcpy(&x, a.data() + i, 8);
+    std::memcpy(&y, b.data() + i, 8);
+    x ^= y;
+    std::memcpy(dst.data() + i, &x, 8);
+  }
+  for (; i < n; ++i) dst[i] = static_cast<u8>(a[i] ^ b[i]);
 }
 
 /// Number of set bits across a byte buffer (used by avalanche tests).

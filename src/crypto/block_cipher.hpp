@@ -33,11 +33,37 @@ class block_cipher {
   /// Decrypt one block.
   virtual void decrypt_block(std::span<const u8> in, std::span<u8> out) const = 0;
 
+  /// Encrypt a run of contiguous independent blocks (ECB semantics).
+  /// in.size() == out.size() and a multiple of block_size(); in and out may
+  /// alias exactly (same span) but must not partially overlap. The default
+  /// loops over encrypt_block; wide cores (bitsliced DES) override it to
+  /// process many blocks per invocation.
+  virtual void encrypt_blocks(std::span<const u8> in, std::span<u8> out) const {
+    check_blocks(in, out);
+    const std::size_t bs = block_size();
+    for (std::size_t off = 0; off < in.size(); off += bs)
+      encrypt_block(in.subspan(off, bs), out.subspan(off, bs));
+  }
+
+  /// Bulk companion of decrypt_block; same contract as encrypt_blocks.
+  virtual void decrypt_blocks(std::span<const u8> in, std::span<u8> out) const {
+    check_blocks(in, out);
+    const std::size_t bs = block_size();
+    for (std::size_t off = 0; off < in.size(); off += bs)
+      decrypt_block(in.subspan(off, bs), out.subspan(off, bs));
+  }
+
  protected:
   /// Shared precondition check for implementations.
   void check_block(std::span<const u8> in, std::span<const u8> out) const {
     if (in.size() != block_size() || out.size() != block_size())
       throw std::invalid_argument("block_cipher: span size != block_size()");
+  }
+
+  /// Precondition check for the bulk entry points.
+  void check_blocks(std::span<const u8> in, std::span<const u8> out) const {
+    if (in.size() != out.size() || in.size() % block_size() != 0)
+      throw std::invalid_argument("block_cipher: bulk spans must match and be block-aligned");
   }
 };
 

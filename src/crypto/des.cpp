@@ -1,126 +1,138 @@
 #include "crypto/des.hpp"
 
 #include "common/bitops.hpp"
+#include "crypto/des_bitslice.hpp"
+#include "crypto/des_tables.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace buscrypt::crypto {
 
 namespace {
 
+using namespace des_detail;
+
 // ---------------------------------------------------------------------------
-// FIPS 46-3 tables. All tables are 1-based bit positions counted from the
-// most significant bit, exactly as printed in the standard.
+// Scalar fast path: fused SP tables + Hoey delta-swap IP/FP.
+//
+// SP[b][six] is S-box b applied to the six-bit input, its 4-bit output
+// placed into its field of the 32-bit S-box word, then run through the P
+// permutation — so the round function is eight table lookups XORed
+// together, with no per-bit permute left anywhere on the hot path. The E
+// expansion is folded into the indexing: with w = rotr32(R, 1), S-box b
+// reads the six consecutive bits (w >> (26 - 4b)) & 0x3F (box 7 wraps via
+// a rotate), because E's input groups are R bits [4b .. 4b+5] mod 32.
 // ---------------------------------------------------------------------------
 
-constexpr std::array<u8, 64> k_ip = {
-    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
-    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
-    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+constexpr std::array<std::array<u32, 64>, 8> make_sp() noexcept {
+  std::array<std::array<u32, 64>, 8> sp{};
+  for (int box = 0; box < 8; ++box)
+    for (u32 six = 0; six < 64; ++six) {
+      const u64 placed = u64{k_sbox6[static_cast<std::size_t>(box)][six]} << (28 - 4 * box);
+      sp[static_cast<std::size_t>(box)][six] = static_cast<u32>(permute(placed, k_p, 32));
+    }
+  return sp;
+}
+constexpr std::array<std::array<u32, 64>, 8> k_sp = make_sp();
 
-constexpr std::array<u8, 64> k_fp = {
-    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
-    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
-    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
-    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
+struct halves {
+  u32 l, r;
+};
 
-constexpr std::array<u8, 48> k_e = {
-    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
-    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
-    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
-
-constexpr std::array<u8, 32> k_p = {
-    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
-    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
-
-constexpr std::array<u8, 56> k_pc1 = {
-    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
-    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
-    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
-    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
-
-constexpr std::array<u8, 48> k_pc2 = {
-    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
-    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
-    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
-
-constexpr std::array<u8, 16> k_shifts = {1, 1, 2, 2, 2, 2, 2, 2,
-                                         1, 2, 2, 2, 2, 2, 2, 1};
-
-constexpr u8 k_sboxes[8][64] = {
-    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
-     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
-     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
-     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
-    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
-     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
-     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
-     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
-    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
-     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
-     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
-     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
-    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
-     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
-     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
-     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
-    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
-     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
-     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
-     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
-    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
-     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
-     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
-     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
-    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
-     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
-     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
-     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
-    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
-     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
-     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
-     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
-
-// Apply a FIPS-style permutation: output bit i (MSB-first, out_bits wide)
-// takes input bit table[i] (1-based from MSB of an in_bits-wide value).
-template <std::size_t N>
-constexpr u64 permute(u64 in, const std::array<u8, N>& table, unsigned in_bits) noexcept {
-  u64 out = 0;
-  for (std::size_t i = 0; i < N; ++i) {
-    out <<= 1;
-    out |= (in >> (in_bits - table[i])) & 1;
-  }
-  return out;
+// IP as five delta swaps (Hoey's network) instead of 64 table-driven
+// single-bit moves. Validated at compile time against the FIPS table below.
+constexpr halves ip_split(u64 x) noexcept {
+  u32 l = static_cast<u32>(x >> 32);
+  u32 r = static_cast<u32>(x);
+  u32 t = ((l >> 4) ^ r) & 0x0F0F0F0F;
+  r ^= t;
+  l ^= t << 4;
+  t = ((l >> 16) ^ r) & 0x0000FFFF;
+  r ^= t;
+  l ^= t << 16;
+  t = ((r >> 2) ^ l) & 0x33333333;
+  l ^= t;
+  r ^= t << 2;
+  t = ((r >> 8) ^ l) & 0x00FF00FF;
+  l ^= t;
+  r ^= t << 8;
+  t = ((l >> 1) ^ r) & 0x55555555;
+  r ^= t;
+  l ^= t << 1;
+  return {l, r};
 }
 
-// The Feistel f-function: expand R to 48 bits, XOR the round key, run the
-// 8 S-boxes, then the P permutation.
-u32 feistel(u32 r, u64 subkey) noexcept {
-  const u64 expanded = permute(u64{r}, k_e, 32) ^ subkey;
-  u32 sboxed = 0;
-  for (int box = 0; box < 8; ++box) {
-    const auto six = static_cast<u32>((expanded >> (42 - 6 * box)) & 0x3F);
-    const u32 row = ((six & 0x20) >> 4) | (six & 0x01);
-    const u32 col = (six >> 1) & 0x0F;
-    sboxed = (sboxed << 4) | k_sboxes[box][row * 16 + col];
-  }
-  return static_cast<u32>(permute(u64{sboxed}, k_p, 32));
+// FP is the exact inverse: the same involutive swap steps in reverse order.
+constexpr u64 fp_join(u32 l, u32 r) noexcept {
+  u32 t = ((l >> 1) ^ r) & 0x55555555;
+  r ^= t;
+  l ^= t << 1;
+  t = ((r >> 8) ^ l) & 0x00FF00FF;
+  l ^= t;
+  r ^= t << 8;
+  t = ((r >> 2) ^ l) & 0x33333333;
+  l ^= t;
+  r ^= t << 2;
+  t = ((l >> 16) ^ r) & 0x0000FFFF;
+  r ^= t;
+  l ^= t << 16;
+  t = ((l >> 4) ^ r) & 0x0F0F0F0F;
+  r ^= t;
+  l ^= t << 4;
+  return (u64{l} << 32) | u64{r};
 }
 
-u64 crypt_u64(u64 block, const std::array<u64, 16>& subkeys, bool decrypt) noexcept {
-  const u64 permuted = permute(block, k_ip, 64);
-  u32 l = static_cast<u32>(permuted >> 32);
-  u32 r = static_cast<u32>(permuted);
+constexpr u64 ip_as_u64(u64 x) noexcept {
+  const halves h = ip_split(x);
+  return (u64{h.l} << 32) | u64{h.r};
+}
+static_assert(ip_as_u64(0x0123456789ABCDEFULL) == permute(0x0123456789ABCDEFULL, k_ip, 64));
+static_assert(ip_as_u64(0xFEDCBA9876543210ULL) == permute(0xFEDCBA9876543210ULL, k_ip, 64));
+static_assert(fp_join(static_cast<u32>(permute(0x13570246ACE8BDF9ULL, k_ip, 64) >> 32),
+                      static_cast<u32>(permute(0x13570246ACE8BDF9ULL, k_ip, 64))) ==
+              0x13570246ACE8BDF9ULL);
+static_assert(fp_join(0x89ABCDEFu, 0x01234567u) ==
+              permute(0x89ABCDEF01234567ULL, k_fp, 64));
+
+inline u32 feistel_sp(u32 r, const std::array<u8, 8>& k) noexcept {
+  const u32 w = rotr32(r, 1);
+  u32 f = k_sp[0][((w >> 26) & 0x3F) ^ k[0]];
+  f ^= k_sp[1][((w >> 22) & 0x3F) ^ k[1]];
+  f ^= k_sp[2][((w >> 18) & 0x3F) ^ k[2]];
+  f ^= k_sp[3][((w >> 14) & 0x3F) ^ k[3]];
+  f ^= k_sp[4][((w >> 10) & 0x3F) ^ k[4]];
+  f ^= k_sp[5][((w >> 6) & 0x3F) ^ k[5]];
+  f ^= k_sp[6][((w >> 2) & 0x3F) ^ k[6]];
+  f ^= k_sp[7][(rotl32(w, 2) & 0x3F) ^ k[7]];
+  return f;
+}
+
+u64 crypt_fast(u64 block, const des_schedule& s, bool decrypt) noexcept {
+  halves h = ip_split(block);
   for (int round = 0; round < 16; ++round) {
-    const u64 k = subkeys[static_cast<std::size_t>(decrypt ? 15 - round : round)];
-    const u32 next_r = l ^ feistel(r, k);
-    l = r;
-    r = next_r;
+    const auto& k = s.k6[static_cast<std::size_t>(decrypt ? 15 - round : round)];
+    const u32 next_r = h.l ^ feistel_sp(h.r, k);
+    h.l = h.r;
+    h.r = next_r;
   }
   // Final swap: the standard applies FP to (R16, L16).
-  const u64 preoutput = (u64{r} << 32) | u64{l};
-  return permute(preoutput, k_fp, 64);
+  return fp_join(h.r, h.l);
+}
+
+// Two-tier split for a bulk block run: the leading wide_prefix() blocks go
+// through the bitsliced lane groups (only groups wide enough to beat the
+// scalar SP tables on this host — see k_min_wide_blocks), the tail runs
+// scalar. Tuned with tab2_cipher_cores' host-MB/s table; DES and 3DES
+// share the crossover because the wide path amortizes its transposes over
+// 16 and 48 rounds alike while both tiers scale with the round count.
+template <typename Scalar>
+void crypt_blocks_tiered(std::span<const bitslice::des_pass> passes, std::span<const u8> in,
+                         std::span<u8> out, Scalar&& scalar_one) {
+  std::size_t off = bitslice::wide_prefix(in.size() / 8) * 8;
+  if (off != 0) bitslice::des_crypt_wide(passes, in.first(off), out.first(off));
+  for (; off < in.size(); off += 8)
+    store_be64(out.data() + off, scalar_one(load_be64(in.data() + off)));
 }
 
 std::span<const u8> subkey_bytes(std::span<const u8> key, std::size_t index) {
@@ -131,21 +143,11 @@ std::span<const u8> subkey_bytes(std::span<const u8> key, std::size_t index) {
 
 des::des(std::span<const u8> key) {
   if (key.size() != 8) throw std::invalid_argument("des: key must be 8 bytes");
-  const u64 k = load_be64(key.data());
-  u64 cd = permute(k, k_pc1, 64); // 56 bits: C (28) || D (28)
-  u32 c = static_cast<u32>(cd >> 28) & 0x0FFFFFFF;
-  u32 d = static_cast<u32>(cd) & 0x0FFFFFFF;
-  for (int round = 0; round < 16; ++round) {
-    const unsigned s = k_shifts[static_cast<std::size_t>(round)];
-    c = ((c << s) | (c >> (28 - s))) & 0x0FFFFFFF;
-    d = ((d << s) | (d >> (28 - s))) & 0x0FFFFFFF;
-    const u64 merged = (u64{c} << 28) | u64{d};
-    subkeys_[static_cast<std::size_t>(round)] = permute(merged, k_pc2, 56);
-  }
+  sched_ = make_schedule(load_be64(key.data()));
 }
 
-u64 des::encrypt_u64(u64 block) const noexcept { return crypt_u64(block, subkeys_, false); }
-u64 des::decrypt_u64(u64 block) const noexcept { return crypt_u64(block, subkeys_, true); }
+u64 des::encrypt_u64(u64 block) const noexcept { return crypt_fast(block, sched_, false); }
+u64 des::decrypt_u64(u64 block) const noexcept { return crypt_fast(block, sched_, true); }
 
 void des::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
   check_block(in, out);
@@ -155,6 +157,20 @@ void des::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
 void des::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
   check_block(in, out);
   store_be64(out.data(), decrypt_u64(load_be64(in.data())));
+}
+
+void des::encrypt_blocks(std::span<const u8> in, std::span<u8> out) const {
+  check_blocks(in, out);
+  const bitslice::des_pass pass{&sched_, false};
+  crypt_blocks_tiered({&pass, 1}, in, out,
+                      [this](u64 x) { return encrypt_u64(x); });
+}
+
+void des::decrypt_blocks(std::span<const u8> in, std::span<u8> out) const {
+  check_blocks(in, out);
+  const bitslice::des_pass pass{&sched_, true};
+  crypt_blocks_tiered({&pass, 1}, in, out,
+                      [this](u64 x) { return decrypt_u64(x); });
 }
 
 triple_des::triple_des(std::span<const u8> key)
@@ -171,6 +187,111 @@ void triple_des::encrypt_block(std::span<const u8> in, std::span<u8> out) const 
 }
 
 void triple_des::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  const u64 x = load_be64(in.data());
+  store_be64(out.data(), k1_.decrypt_u64(k2_.encrypt_u64(k3_.decrypt_u64(x))));
+}
+
+void triple_des::encrypt_blocks(std::span<const u8> in, std::span<u8> out) const {
+  check_blocks(in, out);
+  const bitslice::des_pass passes[3] = {{&k1_.schedule(), false},
+                                        {&k2_.schedule(), true},
+                                        {&k3_.schedule(), false}};
+  crypt_blocks_tiered(passes, in, out, [this](u64 x) {
+    return k3_.encrypt_u64(k2_.decrypt_u64(k1_.encrypt_u64(x)));
+  });
+}
+
+void triple_des::decrypt_blocks(std::span<const u8> in, std::span<u8> out) const {
+  check_blocks(in, out);
+  const bitslice::des_pass passes[3] = {{&k3_.schedule(), true},
+                                        {&k2_.schedule(), false},
+                                        {&k1_.schedule(), true}};
+  crypt_blocks_tiered(passes, in, out, [this](u64 x) {
+    return k1_.decrypt_u64(k2_.encrypt_u64(k3_.decrypt_u64(x)));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Retained reference implementation (oracle for the fast paths).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The Feistel f-function exactly as printed: expand R to 48 bits, XOR the
+// round key, run the 8 S-boxes, then the P permutation.
+u32 feistel_reference(u32 r, u64 subkey) noexcept {
+  const u64 expanded = permute(u64{r}, k_e, 32) ^ subkey;
+  u32 sboxed = 0;
+  for (int box = 0; box < 8; ++box) {
+    const auto six = static_cast<u32>((expanded >> (42 - 6 * box)) & 0x3F);
+    sboxed = (sboxed << 4) | sbox_at(box, six);
+  }
+  return static_cast<u32>(permute(u64{sboxed}, k_p, 32));
+}
+
+u64 crypt_reference(u64 block, const std::array<u64, 16>& subkeys, bool decrypt) noexcept {
+  const u64 permuted = permute(block, k_ip, 64);
+  u32 l = static_cast<u32>(permuted >> 32);
+  u32 r = static_cast<u32>(permuted);
+  for (int round = 0; round < 16; ++round) {
+    const u64 k = subkeys[static_cast<std::size_t>(decrypt ? 15 - round : round)];
+    const u32 next_r = l ^ feistel_reference(r, k);
+    l = r;
+    r = next_r;
+  }
+  const u64 preoutput = (u64{r} << 32) | u64{l};
+  return permute(preoutput, k_fp, 64);
+}
+
+} // namespace
+
+des_reference::des_reference(std::span<const u8> key) {
+  if (key.size() != 8) throw std::invalid_argument("des: key must be 8 bytes");
+  const u64 k = load_be64(key.data());
+  u64 cd = permute(k, k_pc1, 64); // 56 bits: C (28) || D (28)
+  u32 c = static_cast<u32>(cd >> 28) & 0x0FFFFFFF;
+  u32 d = static_cast<u32>(cd) & 0x0FFFFFFF;
+  for (int round = 0; round < 16; ++round) {
+    const unsigned s = k_shifts[static_cast<std::size_t>(round)];
+    c = ((c << s) | (c >> (28 - s))) & 0x0FFFFFFF;
+    d = ((d << s) | (d >> (28 - s))) & 0x0FFFFFFF;
+    const u64 merged = (u64{c} << 28) | u64{d};
+    subkeys_[static_cast<std::size_t>(round)] = permute(merged, k_pc2, 56);
+  }
+}
+
+u64 des_reference::encrypt_u64(u64 block) const noexcept {
+  return crypt_reference(block, subkeys_, false);
+}
+u64 des_reference::decrypt_u64(u64 block) const noexcept {
+  return crypt_reference(block, subkeys_, true);
+}
+
+void des_reference::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  store_be64(out.data(), encrypt_u64(load_be64(in.data())));
+}
+
+void des_reference::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  store_be64(out.data(), decrypt_u64(load_be64(in.data())));
+}
+
+triple_des_reference::triple_des_reference(std::span<const u8> key)
+    : k1_(key.size() == 16 || key.size() == 24
+              ? subkey_bytes(key, 0)
+              : throw std::invalid_argument("3des: key must be 16 or 24 bytes")),
+      k2_(subkey_bytes(key, 1)),
+      k3_(subkey_bytes(key, key.size() == 24 ? 2 : 0)) {}
+
+void triple_des_reference::encrypt_block(std::span<const u8> in, std::span<u8> out) const {
+  check_block(in, out);
+  const u64 x = load_be64(in.data());
+  store_be64(out.data(), k3_.encrypt_u64(k2_.decrypt_u64(k1_.encrypt_u64(x))));
+}
+
+void triple_des_reference::decrypt_block(std::span<const u8> in, std::span<u8> out) const {
   check_block(in, out);
   const u64 x = load_be64(in.data());
   store_be64(out.data(), k1_.decrypt_u64(k2_.encrypt_u64(k3_.decrypt_u64(x))));

@@ -1,0 +1,22 @@
+/// \file des_bitslice_avx2.cpp
+/// 256-block lane groups: the bitsliced circuit instantiated on a 4xu64
+/// vector word. This translation unit is compiled with -mavx2 (see
+/// CMakeLists) and only ever entered after a runtime
+/// __builtin_cpu_supports("avx2") check in des_bitslice.cpp; everything it
+/// reaches lives in des_bitslice_core.hpp's anonymous namespace, so no
+/// AVX2-compiled symbol can leak into other translation units.
+
+#include "crypto/des_bitslice_core.hpp"
+
+namespace buscrypt::crypto::bitslice {
+
+namespace {
+typedef u64 v256 __attribute__((vector_size(32)));
+} // namespace
+
+void des_crypt_group_avx2(std::span<const des_pass> passes, std::span<const u8> in,
+                          std::span<u8> out) {
+  crypt_group<v256>(passes, in, out);
+}
+
+} // namespace buscrypt::crypto::bitslice

@@ -1,0 +1,20 @@
+/// \file des_bitslice_avx512.cpp
+/// 512-block lane groups: the bitsliced circuit instantiated on an 8xu64
+/// vector word. Compiled with -mavx512f and gated at runtime by
+/// __builtin_cpu_supports("avx512f") in des_bitslice.cpp; see
+/// des_bitslice_avx2.cpp for the linkage-isolation rationale.
+
+#include "crypto/des_bitslice_core.hpp"
+
+namespace buscrypt::crypto::bitslice {
+
+namespace {
+typedef u64 v512 __attribute__((vector_size(64)));
+} // namespace
+
+void des_crypt_group_avx512(std::span<const des_pass> passes, std::span<const u8> in,
+                            std::span<u8> out) {
+  crypt_group<v512>(passes, in, out);
+}
+
+} // namespace buscrypt::crypto::bitslice

@@ -1,0 +1,28 @@
+/// \file des_bitslice_avx512vl.cpp
+/// 128- and 256-block lane groups recompiled with AVX-512VL, which
+/// extends vpternlogq to XMM/YMM words — the unrolled sum-of-minterms
+/// circuit fuses every XOR-of-AND triple into one op, roughly doubling
+/// the narrow groups over their SSE2/AVX2 builds. Gated at runtime by
+/// __builtin_cpu_supports("avx512vl") in des_bitslice.cpp; see
+/// des_bitslice_avx2.cpp for the linkage-isolation rationale.
+
+#include "crypto/des_bitslice_core.hpp"
+
+namespace buscrypt::crypto::bitslice {
+
+namespace {
+typedef u64 v128 __attribute__((vector_size(16)));
+typedef u64 v256 __attribute__((vector_size(32)));
+} // namespace
+
+void des_crypt_group128_vl(std::span<const des_pass> passes, std::span<const u8> in,
+                           std::span<u8> out) {
+  crypt_group<v128>(passes, in, out);
+}
+
+void des_crypt_group256_vl(std::span<const des_pass> passes, std::span<const u8> in,
+                           std::span<u8> out) {
+  crypt_group<v256>(passes, in, out);
+}
+
+} // namespace buscrypt::crypto::bitslice

@@ -19,16 +19,12 @@ void check_blocked(const block_cipher& c, std::span<const u8> in, std::span<cons
 
 void ecb_encrypt(const block_cipher& c, std::span<const u8> in, std::span<u8> out) {
   check_blocked(c, in, out);
-  const std::size_t bs = c.block_size();
-  for (std::size_t off = 0; off < in.size(); off += bs)
-    c.encrypt_block(in.subspan(off, bs), out.subspan(off, bs));
+  c.encrypt_blocks(in, out);
 }
 
 void ecb_decrypt(const block_cipher& c, std::span<const u8> in, std::span<u8> out) {
   check_blocked(c, in, out);
-  const std::size_t bs = c.block_size();
-  for (std::size_t off = 0; off < in.size(); off += bs)
-    c.decrypt_block(in.subspan(off, bs), out.subspan(off, bs));
+  c.decrypt_blocks(in, out);
 }
 
 void cbc_encrypt(const block_cipher& c, std::span<const u8> iv,
@@ -40,7 +36,7 @@ void cbc_encrypt(const block_cipher& c, std::span<const u8> iv,
   bytes chain(iv.begin(), iv.end());
   bytes scratch(bs);
   for (std::size_t off = 0; off < in.size(); off += bs) {
-    for (std::size_t i = 0; i < bs; ++i) scratch[i] = static_cast<u8>(in[off + i] ^ chain[i]);
+    xor_bytes(scratch, in.subspan(off, bs), chain);
     c.encrypt_block(scratch, out.subspan(off, bs));
     chain.assign(out.begin() + static_cast<std::ptrdiff_t>(off),
                  out.begin() + static_cast<std::ptrdiff_t>(off + bs));
@@ -53,16 +49,16 @@ void cbc_decrypt(const block_cipher& c, std::span<const u8> iv,
   const std::size_t bs = c.block_size();
   if (iv.size() != bs) throw std::invalid_argument("cbc: iv size != block size");
 
-  bytes chain(iv.begin(), iv.end());
-  bytes ct(bs);
-  for (std::size_t off = 0; off < in.size(); off += bs) {
-    // Copy first: in/out may alias.
-    ct.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
-              in.begin() + static_cast<std::ptrdiff_t>(off + bs));
-    c.decrypt_block(ct, out.subspan(off, bs));
-    for (std::size_t i = 0; i < bs; ++i) out[off + i] ^= chain[i];
-    chain = ct;
-  }
+  // Unlike encryption, CBC decryption has no serial dependency: every block
+  // decrypts independently and the chain is a post-XOR with the previous
+  // ciphertext. Copy the ciphertext (in/out may alias and the chain XOR
+  // needs it afterwards), decrypt the whole run through the bulk path
+  // (which the bitsliced DES cores feed on), then apply the chain u64-wide.
+  if (in.empty()) return;
+  const bytes ct(in.begin(), in.end());
+  c.decrypt_blocks(ct, out);
+  xor_bytes(out.first(bs), iv);
+  xor_bytes(out.subspan(bs), std::span<const u8>(ct).first(ct.size() - bs));
 }
 
 void ctr_crypt(const block_cipher& c, u64 nonce, u64 initial_counter,
@@ -70,25 +66,36 @@ void ctr_crypt(const block_cipher& c, u64 nonce, u64 initial_counter,
   if (in.size() != out.size())
     throw std::invalid_argument("ctr: in/out size mismatch");
   const std::size_t bs = c.block_size();
-  bytes counter_block(bs, 0);
-  bytes pad(bs);
+
+  // Generate a window of counter blocks, run them through the bulk
+  // encrypt (one bitsliced call for wide windows), then XOR u64-wide. The
+  // window is sized to fill the widest bitsliced lane group (512 blocks)
+  // for 8-byte ciphers; the 4 KiB pad buffer stays L1-resident.
+  constexpr std::size_t k_window_blocks = 512;
+  bytes pad(bs * k_window_blocks);
 
   u64 ctr = initial_counter;
   std::size_t off = 0;
   while (off < in.size()) {
-    // Counter block layout: nonce in the top 8 bytes (when they exist),
-    // counter in the bottom 8; for 8-byte ciphers they are XORed together.
-    if (bs >= 16) {
-      store_be64(counter_block.data(), nonce);
-      store_be64(counter_block.data() + bs - 8, ctr);
-    } else {
-      store_be64(counter_block.data(), nonce ^ ctr);
+    const std::size_t remaining = in.size() - off;
+    const std::size_t nblocks = std::min(k_window_blocks, (remaining + bs - 1) / bs);
+    for (std::size_t b = 0; b < nblocks; ++b, ++ctr) {
+      u8* cb = pad.data() + b * bs;
+      std::fill(cb, cb + bs, u8{0});
+      // Counter block layout: nonce in the top 8 bytes (when they exist),
+      // counter in the bottom 8; for 8-byte ciphers they are XORed together.
+      if (bs >= 16) {
+        store_be64(cb, nonce);
+        store_be64(cb + bs - 8, ctr);
+      } else {
+        store_be64(cb, nonce ^ ctr);
+      }
     }
-    c.encrypt_block(counter_block, pad);
-    const std::size_t n = std::min(bs, in.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] = static_cast<u8>(in[off + i] ^ pad[i]);
+    const std::span<u8> window = std::span<u8>(pad).first(nblocks * bs);
+    c.encrypt_blocks(window, window);
+    const std::size_t n = std::min(remaining, nblocks * bs);
+    xor_bytes(out.subspan(off, n), in.subspan(off, n), window.first(n));
     off += n;
-    ++ctr;
   }
 }
 
@@ -102,7 +109,7 @@ void cfb_encrypt(const block_cipher& c, std::span<const u8> iv,
   bytes pad(bs);
   for (std::size_t off = 0; off < in.size(); off += bs) {
     c.encrypt_block(feedback, pad);
-    for (std::size_t i = 0; i < bs; ++i) out[off + i] = static_cast<u8>(in[off + i] ^ pad[i]);
+    xor_bytes(out.subspan(off, bs), in.subspan(off, bs), pad);
     feedback.assign(out.begin() + static_cast<std::ptrdiff_t>(off),
                     out.begin() + static_cast<std::ptrdiff_t>(off + bs));
   }
@@ -122,7 +129,7 @@ void cfb_decrypt(const block_cipher& c, std::span<const u8> iv,
     ct.assign(in.begin() + static_cast<std::ptrdiff_t>(off),
               in.begin() + static_cast<std::ptrdiff_t>(off + bs));
     c.encrypt_block(feedback, pad); // forward cipher only
-    for (std::size_t i = 0; i < bs; ++i) out[off + i] = static_cast<u8>(ct[i] ^ pad[i]);
+    xor_bytes(out.subspan(off, bs), ct, pad);
     feedback = ct;
   }
 }
@@ -139,7 +146,7 @@ void ofb_crypt(const block_cipher& c, std::span<const u8> iv,
   while (off < in.size()) {
     c.encrypt_block(state, state);
     const std::size_t n = std::min(bs, in.size() - off);
-    for (std::size_t i = 0; i < n; ++i) out[off + i] = static_cast<u8>(in[off + i] ^ state[i]);
+    xor_bytes(out.subspan(off, n), in.subspan(off, n), state);
     off += n;
   }
 }

@@ -48,7 +48,7 @@ void integrity_edu::pad_line(addr_t line_addr, u64 version, std::span<u8> buf) c
     else block[0] ^= static_cast<u8>(version);
     prf_->encrypt_block(block, pad);
     const std::size_t n = std::min(bs, buf.size() - off);
-    for (std::size_t i = 0; i < n; ++i) buf[off + i] ^= pad[i];
+    xor_bytes(buf.subspan(off, n), pad);
   }
 }
 

@@ -27,6 +27,13 @@ void check_unit(std::size_t granule, std::span<const u8> in, std::span<const u8>
     throw std::invalid_argument("keyed_cipher: unit not a multiple of the cipher granule");
 }
 
+void check_units(std::size_t unit_len, std::span<const u8> in, std::span<const u8> out) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("keyed_cipher: in/out size mismatch");
+  if (unit_len == 0 || in.size() % unit_len != 0)
+    throw std::invalid_argument("keyed_cipher: run must be whole units");
+}
+
 /// Keyed block cipher + mode over data units. Holds its expanded core by
 /// shared_ptr: cores come from the backend's schedule cache, so several
 /// keyed instances of one key (slots, fallbacks, probes) share one
@@ -50,6 +57,42 @@ class block_keyed final : public keyed_cipher {
     crypt(dun, in, out, /*encrypt=*/false);
   }
 
+  void encrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                     std::span<u8> out) override {
+    check_units(unit_len, in, out);
+    switch (mode_) {
+      case unit_mode::ecb:
+        // Unit boundaries don't matter without an IV: one bulk pass.
+        check_unit(granule(), in, out);
+        cipher_->encrypt_blocks(in, out);
+        break;
+      case unit_mode::ctr:
+        ctr_units(first_dun, unit_len, in, out);
+        break;
+      case unit_mode::cbc:
+        // Encryption chains serially within each unit; nothing to widen.
+        keyed_cipher::encrypt_units(first_dun, unit_len, in, out);
+        break;
+    }
+  }
+
+  void decrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                     std::span<u8> out) override {
+    check_units(unit_len, in, out);
+    switch (mode_) {
+      case unit_mode::ecb:
+        check_unit(granule(), in, out);
+        cipher_->decrypt_blocks(in, out);
+        break;
+      case unit_mode::ctr:
+        ctr_units(first_dun, unit_len, in, out); // XOR pad: decrypt == encrypt
+        break;
+      case unit_mode::cbc:
+        cbc_decrypt_units(first_dun, unit_len, in, out);
+        break;
+    }
+  }
+
   [[nodiscard]] cycles unit_cost(std::size_t nbytes, bool encrypt) const noexcept override {
     return cost_.time(nbytes, encrypt);
   }
@@ -63,33 +106,82 @@ class block_keyed final : public keyed_cipher {
       keyed_cipher::generate_pads(first_dun, unit_len, out);
       return;
     }
-    // Direct CTR pad fill: E(counter block) written straight into the
-    // batch buffer — same bytes ctr_crypt produces, no zero input pass.
-    const std::size_t bs = cipher_->block_size();
-    bytes counter_block(bs, 0);
-    bytes pad(bs);
-    for (std::size_t uoff = 0; uoff < out.size(); uoff += unit_len) {
-      const u64 dun = first_dun + uoff / unit_len;
-      u64 ctr = dun << 16;
-      std::size_t off = 0;
-      while (off < unit_len) {
-        if (bs >= 16) {
-          store_be64(counter_block.data(), k_ctr_tweak);
-          store_be64(counter_block.data() + bs - 8, ctr);
-        } else {
-          store_be64(counter_block.data(), k_ctr_tweak ^ ctr);
-        }
-        cipher_->encrypt_block(counter_block, pad);
-        const std::size_t n = std::min(bs, unit_len - off);
-        std::copy_n(pad.begin(), n,
-                    out.begin() + static_cast<std::ptrdiff_t>(uoff + off));
-        off += n;
-        ++ctr;
-      }
-    }
+    if (unit_len == 0 || out.size() % unit_len != 0)
+      throw std::invalid_argument("generate_pads: out must be whole units");
+    fill_ctr_pads(first_dun, unit_len, out);
   }
 
  private:
+  /// CTR pad fill for a run of units: build every counter block of the run,
+  /// encrypt them all in one bulk call (a whole bitsliced batch for the DES
+  /// cores), then lay the pads out per unit. Same bytes ctr_crypt produces.
+  void fill_ctr_pads(u64 first_dun, std::size_t unit_len, std::span<u8> out) {
+    const std::size_t bs = cipher_->block_size();
+    const std::size_t nunits = out.size() / unit_len;
+    const std::size_t bpu = (unit_len + bs - 1) / bs; // counter blocks per unit
+    const bool aligned = unit_len % bs == 0;
+    bytes scratch;
+    std::span<u8> work = out;
+    if (!aligned) {
+      scratch.resize(nunits * bpu * bs);
+      work = scratch;
+    }
+    std::size_t w = 0;
+    for (std::size_t u = 0; u < nunits; ++u) {
+      u64 ctr = (first_dun + u) << 16;
+      for (std::size_t b = 0; b < bpu; ++b, ++ctr, w += bs) {
+        u8* cb = work.data() + w;
+        std::fill(cb, cb + bs, u8{0});
+        if (bs >= 16) {
+          store_be64(cb, k_ctr_tweak);
+          store_be64(cb + bs - 8, ctr);
+        } else {
+          store_be64(cb, k_ctr_tweak ^ ctr);
+        }
+      }
+    }
+    cipher_->encrypt_blocks(work, work);
+    if (!aligned)
+      for (std::size_t u = 0; u < nunits; ++u)
+        std::copy_n(work.begin() + static_cast<std::ptrdiff_t>(u * bpu * bs), unit_len,
+                    out.begin() + static_cast<std::ptrdiff_t>(u * unit_len));
+  }
+
+  /// CTR unit run: one bulk pad fill for the whole window, then a u64-wide
+  /// XOR against the payload (encrypt and decrypt are the same operation).
+  void ctr_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                 std::span<u8> out) {
+    bytes pads(in.size());
+    fill_ctr_pads(first_dun, unit_len, pads);
+    xor_bytes(out, in, pads);
+  }
+
+  /// CBC decryption over a unit run: ESSIV IVs for every unit derived in
+  /// one bulk encrypt, the whole window block-decrypted in one bulk call
+  /// (where the bitsliced DES path lives), then the per-unit chain applied
+  /// u64-wide. Byte-identical to per-unit cbc_decrypt.
+  void cbc_decrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                         std::span<u8> out) {
+    const std::size_t bs = cipher_->block_size();
+    if (unit_len % bs != 0)
+      throw std::invalid_argument("keyed_cipher: unit not a multiple of the cipher granule");
+    if (in.empty()) return;
+    const std::size_t nunits = in.size() / unit_len;
+    bytes ivs(nunits * bs, 0);
+    for (std::size_t u = 0; u < nunits; ++u)
+      store_le64(ivs.data() + u * bs, first_dun + u);
+    cipher_->encrypt_blocks(ivs, ivs);
+    const bytes ct(in.begin(), in.end()); // in/out may alias; chain needs ct
+    cipher_->decrypt_blocks(ct, out);
+    for (std::size_t u = 0; u < nunits; ++u) {
+      const std::size_t base = u * unit_len;
+      xor_bytes(out.subspan(base, bs), std::span<const u8>(ivs).subspan(u * bs, bs));
+      if (unit_len > bs)
+        xor_bytes(out.subspan(base + bs, unit_len - bs),
+                  std::span<const u8>(ct).subspan(base, unit_len - bs));
+    }
+  }
+
   void crypt(u64 dun, std::span<const u8> in, std::span<u8> out, bool encrypt) {
     check_unit(granule(), in, out);
     switch (mode_) {
@@ -178,6 +270,22 @@ class stream_keyed final : public keyed_cipher {
 } // namespace
 
 // --- keyed_cipher -----------------------------------------------------------
+
+void keyed_cipher::encrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                                 std::span<u8> out) {
+  check_units(unit_len, in, out);
+  for (std::size_t off = 0; off < in.size(); off += unit_len)
+    encrypt_unit(first_dun + off / unit_len, in.subspan(off, unit_len),
+                 out.subspan(off, unit_len));
+}
+
+void keyed_cipher::decrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                                 std::span<u8> out) {
+  check_units(unit_len, in, out);
+  for (std::size_t off = 0; off < in.size(); off += unit_len)
+    decrypt_unit(first_dun + off / unit_len, in.subspan(off, unit_len),
+                 out.subspan(off, unit_len));
+}
 
 void keyed_cipher::generate_pads(u64 first_dun, std::size_t unit_len, std::span<u8> out) {
   // Exact for any XOR-pad cipher: pad == E(0). Non-pad modes never call

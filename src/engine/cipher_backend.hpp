@@ -70,6 +70,18 @@ class keyed_cipher {
   virtual void encrypt_unit(u64 dun, std::span<const u8> in, std::span<u8> out) = 0;
   virtual void decrypt_unit(u64 dun, std::span<const u8> in, std::span<u8> out) = 0;
 
+  /// Transform a run of consecutive whole data units in one call: unit u of
+  /// the run is numbered first_dun + u and occupies bytes
+  /// [u*unit_len, (u+1)*unit_len). in.size() == out.size(), a multiple of
+  /// unit_len; in/out may alias exactly. Byte-identical to calling the
+  /// per-unit transforms in a loop — the defaults below do exactly that —
+  /// but overridable so wide cores (bitsliced DES, bulk CTR pads) see the
+  /// whole batch window at once instead of one unit at a time.
+  virtual void encrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                             std::span<u8> out);
+  virtual void decrypt_units(u64 first_dun, std::size_t unit_len, std::span<const u8> in,
+                             std::span<u8> out);
+
   /// Cycles the hardware model charges for \p nbytes on this path.
   [[nodiscard]] virtual cycles unit_cost(std::size_t nbytes, bool encrypt) const noexcept = 0;
 

@@ -281,6 +281,33 @@ TEST(FleetDeterminism, CpuDriveCellsMatchSoloRuns) {
     EXPECT_TRUE(r.cells[i].sim_equal(solo[i])) << solo[i].label;
 }
 
+// DES-backend cells on a multi-thread fleet: the GI engine's 1 KiB
+// segment decrypts (128 blocks a call) and Gilmont's prefetch runs drive
+// the bitsliced wide DES path concurrently from several worker threads
+// while sharing immutable key schedules. Covered by the TSan CI leg (it
+// filters -R 'Fleet'), so a data race in the lane-group dispatch table or
+// the borrowed-schedule passes would surface here.
+TEST(FleetDeterminism, BitslicedDesCellsAcrossWorkerThreads) {
+  fleet_config cfg;
+  for (const edu::engine_kind kind :
+       {edu::engine_kind::dallas_des, edu::engine_kind::gilmont_3des,
+        edu::engine_kind::gi_3des_cbc}) {
+    const std::vector<fleet_cell> pair =
+        fleet::seed_sweep(small_cell(kind, engine::auth_mode::none, 400), 2);
+    cfg.cells.insert(cfg.cells.end(), pair.begin(), pair.end());
+  }
+  std::vector<fleet::cell_result> solo;
+  for (const fleet_cell& c : cfg.cells) solo.push_back(fleet::run_cell(c));
+
+  cfg.threads = 6;
+  cfg.shuffle = true;
+  cfg.shuffle_seed = 0xDE5F1EE7ULL;
+  const fleet_result r = fleet::run_fleet(cfg);
+  ASSERT_EQ(r.cells.size(), solo.size());
+  for (std::size_t i = 0; i < solo.size(); ++i)
+    EXPECT_TRUE(r.cells[i].sim_equal(solo[i])) << solo[i].label;
+}
+
 TEST(FleetJson, HostFieldsAppearOnlyWhenRequested) {
   fleet_config cfg;
   cfg.cells.push_back(small_cell(edu::engine_kind::plaintext,
