@@ -19,6 +19,9 @@ struct engine_edu_config {
   std::string backend{keyslot_default_backend}; ///< engine::backend_registry name
   std::size_t data_unit_size = 32; ///< typically the cache line size
   unsigned num_slots = 4;          ///< hardware keyslot pool size
+  /// Victim selection for the slot pool. Policies never change what the
+  /// datapath produces — only hit/reprogram telemetry and timing.
+  engine::slot_policy policy = engine::slot_policy::lru;
   engine::engine_config engine{};
   /// Authentication of the default context (mode none = PR 3 datapath,
   /// cycle for cycle). The window/tag geometry is the caller's; an empty

@@ -118,6 +118,8 @@ secure_soc::secure_soc(engine_kind kind, const soc_config& cfg)
     case engine_kind::inline_keyslot: {
       engine_edu_config kcfg;
       kcfg.data_unit_size = cfg.l1.line_size;
+      kcfg.policy = cfg.keyslot_policy;
+      if (cfg.keyslot_slots != 0) kcfg.num_slots = cfg.keyslot_slots;
       if (!cfg.keyslot_backend.empty()) kcfg.backend = cfg.keyslot_backend;
       if (cfg.keyslot_auth != engine::auth_mode::none) {
         kcfg.auth.mode = cfg.keyslot_auth;

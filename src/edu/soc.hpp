@@ -9,6 +9,7 @@
 #include "crypto/toy_cipher.hpp"
 #include "edu/edu.hpp"
 #include "edu/names.hpp"
+#include "engine/eviction_policy.hpp"
 #include "engine/memory_authenticator.hpp"
 #include "sim/bus.hpp"
 #include "sim/bus_arbiter.hpp"
@@ -143,6 +144,11 @@ struct soc_config {
   engine::auth_mode keyslot_auth = engine::auth_mode::none;
   addr_t keyslot_auth_limit = 1u << 19;
   addr_t keyslot_auth_tag_base = 6u << 20;
+  /// inline_keyslot only: slot-pool victim policy and pool size (0 keeps
+  /// the engine_edu default). Policies trade telemetry/timing under
+  /// context churn; the datapath bytes are policy-invariant.
+  engine::slot_policy keyslot_policy = engine::slot_policy::lru;
+  unsigned keyslot_slots = 0;
 };
 
 /// The assembled system. Owns every component; wiring depends on the

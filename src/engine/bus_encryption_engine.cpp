@@ -258,13 +258,19 @@ cycles bus_encryption_engine::transform_units_bulk(keyed_cipher& kc,
 bus_encryption_engine::slot_lease
 bus_encryption_engine::lease_slot(const keyslot_key& k, bool charge_time, bool hw_only) {
   slot_lease lease;
-  const u64 programs_before = slots_->stats().programs;
+  // A stall is charged only for *demand* programs (cold or displacing);
+  // prefetch refills expand their schedules in idle time, so a hit on a
+  // prefetched slot stays free — that is the policy's whole payoff.
+  const keyslot_stats& ks = slots_->stats();
+  const u64 demand_before = ks.cold_programs + ks.reprograms;
   lease.guard = std::make_unique<slot_guard>(*slots_, k);
   if (lease.guard->valid()) {
     lease.kc = &lease.guard->keyed();
-    if (charge_time && slots_->stats().programs != programs_before) {
+    if (charge_time && ks.cold_programs + ks.reprograms != demand_before) {
       lease.setup = cfg_.slot_program_cycles;
       stats_.crypto_cycles += cfg_.slot_program_cycles;
+      ++stats_.reprogram_stalls;
+      stats_.reprogram_stall_cycles += cfg_.slot_program_cycles;
     }
     return lease;
   }

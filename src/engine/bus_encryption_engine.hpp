@@ -63,6 +63,8 @@ struct engine_stats {
   u64 batch_native = 0;   ///< transactions taken by the pipelined batch path
   u64 domain_faults = 0;  ///< cross-domain accesses denied by the firewall
   u64 integrity_faults = 0; ///< authenticated units that failed verification
+  u64 reprogram_stalls = 0; ///< requests that waited for a demand key program
+  cycles reprogram_stall_cycles = 0; ///< cycles those waits cost (in crypto_cycles)
   cycles crypto_cycles = 0;
 };
 

@@ -1,0 +1,144 @@
+#include "engine/eviction_policy.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace buscrypt::engine {
+
+namespace {
+
+constexpr int no_slot = -1; // mirrors keyslot_manager::no_slot
+
+/// First empty idle slot, or no_slot. Every policy tries this before its
+/// own ranking: programming an empty slot evicts nobody.
+int first_empty_idle(std::span<const slot_view> slots) {
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    if (slots[i].refcount == 0 && !slots[i].programmed) return static_cast<int>(i);
+  return no_slot;
+}
+
+/// Exact LRU — one loop, bit-identical to the pre-policy manager: the
+/// first empty idle slot wins immediately, else the idle slot with the
+/// smallest last_use tick.
+class lru_policy : public eviction_policy {
+ public:
+  [[nodiscard]] slot_policy kind() const noexcept override { return slot_policy::lru; }
+
+  [[nodiscard]] int pick_victim(std::span<const slot_view> slots) override {
+    int victim = no_slot;
+    u64 oldest = std::numeric_limits<u64>::max();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].refcount != 0) continue;
+      if (!slots[i].programmed) return static_cast<int>(i);
+      if (slots[i].last_use < oldest) {
+        oldest = slots[i].last_use;
+        victim = static_cast<int>(i);
+      }
+    }
+    return victim;
+  }
+};
+
+/// CLOCK / second-chance: a ref bit per slot, set on hit and program,
+/// cleared as the hand sweeps. The hand skips pinned slots (their bits
+/// survive — a pinned slot keeps its recency claim), gives each set bit
+/// one more revolution, and takes the first idle slot found cleared. Two
+/// revolutions bound the sweep: the first clears every idle bit, so the
+/// second must land — unless every slot is pinned.
+class clock_policy : public eviction_policy {
+ public:
+  explicit clock_policy(unsigned num_slots) : ref_(num_slots, false) {}
+
+  [[nodiscard]] slot_policy kind() const noexcept override {
+    return slot_policy::clock_hand;
+  }
+
+  void on_program(std::size_t slot) override { ref_[slot] = true; }
+  void on_hit(std::size_t slot) override { ref_[slot] = true; }
+  void on_evict(std::size_t slot) override { ref_[slot] = false; }
+
+  [[nodiscard]] int pick_victim(std::span<const slot_view> slots) override {
+    if (int empty = first_empty_idle(slots); empty != no_slot) return empty;
+    const std::size_t n = slots.size();
+    for (std::size_t step = 0; step < 2 * n; ++step) {
+      const std::size_t i = hand_;
+      hand_ = (hand_ + 1) % n;
+      if (slots[i].refcount != 0) continue;
+      if (ref_[i]) {
+        ref_[i] = false; // second chance spent
+        continue;
+      }
+      return static_cast<int>(i);
+    }
+    return no_slot; // every slot pinned
+  }
+
+ private:
+  std::vector<bool> ref_;
+  std::size_t hand_ = 0;
+};
+
+/// Usage-aware (LFU-flavoured): evict the idle slot whose key served the
+/// fewest acquires since being programmed; break ties toward the older
+/// last_use. A key that has proven itself hot survives bursts of
+/// program-once contexts that would flush a pure-recency pool.
+class refcount_policy : public eviction_policy {
+ public:
+  [[nodiscard]] slot_policy kind() const noexcept override {
+    return slot_policy::refcount;
+  }
+
+  [[nodiscard]] int pick_victim(std::span<const slot_view> slots) override {
+    int victim = no_slot;
+    u64 fewest = std::numeric_limits<u64>::max();
+    u64 oldest = std::numeric_limits<u64>::max();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].refcount != 0) continue;
+      if (!slots[i].programmed) return static_cast<int>(i);
+      if (slots[i].uses < fewest ||
+          (slots[i].uses == fewest && slots[i].last_use < oldest)) {
+        fewest = slots[i].uses;
+        oldest = slots[i].last_use;
+        victim = static_cast<int>(i);
+      }
+    }
+    return victim;
+  }
+};
+
+/// LRU victim selection with the prefetch flag raised: the refill logic
+/// itself lives in the manager (it needs the displaced keys and the
+/// cipher registry, which policies deliberately cannot see).
+class prefetch_policy : public lru_policy {
+ public:
+  [[nodiscard]] slot_policy kind() const noexcept override {
+    return slot_policy::prefetch;
+  }
+  [[nodiscard]] bool wants_prefetch() const noexcept override { return true; }
+};
+
+} // namespace
+
+bool parse_slot_policy(std::string_view name, slot_policy& out) noexcept {
+  for (const slot_policy p : all_slot_policies) {
+    if (slot_policy_name(p) == name) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<eviction_policy> make_eviction_policy(slot_policy p,
+                                                      unsigned num_slots) {
+  switch (p) {
+    case slot_policy::lru: return std::make_unique<lru_policy>();
+    case slot_policy::clock_hand: return std::make_unique<clock_policy>(num_slots);
+    case slot_policy::refcount: return std::make_unique<refcount_policy>();
+    case slot_policy::prefetch: return std::make_unique<prefetch_policy>();
+  }
+  throw std::invalid_argument("make_eviction_policy: unknown policy");
+}
+
+} // namespace buscrypt::engine

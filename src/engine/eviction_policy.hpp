@@ -1,0 +1,100 @@
+#pragma once
+/// \file eviction_policy.hpp
+/// Pluggable victim selection for the keyslot pool. The manager owns the
+/// slots, the refcounts and the cipher programming; a policy only decides
+/// *which idle slot dies* when a miss needs one, from a read-only view of
+/// the pool. That split keeps every policy trivially correct against the
+/// pool invariants (a policy cannot touch a pinned slot — the manager
+/// validates the pick) and makes policies comparable: same traffic, same
+/// functional results, different hit/reprogram telemetry.
+///
+/// Four policies, mirroring the classic page-replacement ladder as it
+/// applies to key registers:
+///   - lru       — exact least-recently-used (the original hard-wired
+///                 behaviour, bit-for-bit).
+///   - clock     — CLOCK / second-chance: one ref bit per slot and a
+///                 sweeping hand; O(1) state per slot instead of a full
+///                 recency order.
+///   - refcount  — usage-aware (LFU-flavoured): evict the idle slot whose
+///                 key served the fewest acquires since it was programmed,
+///                 oldest first on ties — protects hot keys a burst of
+///                 one-shot contexts would flush under LRU.
+///   - prefetch  — LRU victim selection plus an idle-slot refill: the
+///                 manager remembers recently displaced *hot* keys and
+///                 re-programs one into a cold idle slot after each demand
+///                 program, hiding the key-schedule latency in idle time
+///                 (counted as prefetch_programs, never as a stall).
+
+#include "common/types.hpp"
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace buscrypt::engine {
+
+enum class slot_policy : u8 { lru, clock_hand, refcount, prefetch };
+
+inline constexpr std::array<slot_policy, 4> all_slot_policies = {
+    slot_policy::lru, slot_policy::clock_hand, slot_policy::refcount,
+    slot_policy::prefetch};
+
+[[nodiscard]] constexpr std::string_view slot_policy_name(slot_policy p) noexcept {
+  switch (p) {
+    case slot_policy::lru: return "lru";
+    case slot_policy::clock_hand: return "clock";
+    case slot_policy::refcount: return "refcount";
+    case slot_policy::prefetch: return "prefetch";
+  }
+  return "?";
+}
+
+/// Parse a policy name as printed by slot_policy_name (bench CLI axis).
+/// Returns false and leaves \p out untouched on an unknown name.
+[[nodiscard]] bool parse_slot_policy(std::string_view name, slot_policy& out) noexcept;
+
+/// What a policy may know about one slot. Everything is maintained by the
+/// manager; policies never mutate pool state through the view.
+struct slot_view {
+  bool programmed = false; ///< a key schedule lives here
+  unsigned refcount = 0;   ///< pinned by in-flight users when non-zero
+  u64 last_use = 0;        ///< manager tick of the last hit/program
+  u64 uses = 0;            ///< acquires served since programmed (1 = cold)
+};
+
+/// Victim chooser. Stateful implementations (CLOCK's hand and ref bits)
+/// are notified of every slot event so their private state tracks the
+/// pool; stateless ones ignore the notifications.
+class eviction_policy {
+ public:
+  virtual ~eviction_policy() = default;
+
+  [[nodiscard]] virtual slot_policy kind() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return slot_policy_name(kind());
+  }
+
+  /// A key was programmed into \p slot (demand or prefetch).
+  virtual void on_program(std::size_t slot) { (void)slot; }
+  /// acquire() found its key already in \p slot.
+  virtual void on_hit(std::size_t slot) { (void)slot; }
+  /// \p slot's key was displaced or explicitly evicted.
+  virtual void on_evict(std::size_t slot) { (void)slot; }
+
+  /// Pick the slot to program for a missing key: an index whose view has
+  /// refcount == 0, or keyslot_manager::no_slot (-1) when every slot is
+  /// pinned. An empty idle slot must beat any eviction (all policies
+  /// share that rule — an empty slot is free real estate).
+  [[nodiscard]] virtual int pick_victim(std::span<const slot_view> slots) = 0;
+
+  /// True when the manager should keep a displaced-hot-key ring and
+  /// refill cold idle slots after demand programs (the prefetch policy).
+  [[nodiscard]] virtual bool wants_prefetch() const noexcept { return false; }
+};
+
+/// \throws std::invalid_argument on an out-of-range enum value.
+[[nodiscard]] std::unique_ptr<eviction_policy> make_eviction_policy(slot_policy p,
+                                                                    unsigned num_slots);
+
+} // namespace buscrypt::engine

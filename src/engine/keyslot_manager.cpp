@@ -1,60 +1,158 @@
 #include "engine/keyslot_manager.hpp"
 
-#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace buscrypt::engine {
 
-keyslot_manager::keyslot_manager(const backend_registry& registry, unsigned num_slots)
-    : registry_(&registry) {
+keyslot_manager::keyslot_manager(const backend_registry& registry, unsigned num_slots,
+                                 slot_policy policy)
+    : registry_(&registry), policy_(make_eviction_policy(policy, num_slots)) {
   if (num_slots == 0)
     throw std::invalid_argument("keyslot_manager: need at least one slot");
   slots_.resize(num_slots);
+  views_.resize(num_slots);
+}
+
+int keyslot_manager::pick_victim() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    views_[i].programmed = slots_[i].key.has_value();
+    views_[i].refcount = slots_[i].refcount;
+    views_[i].last_use = slots_[i].last_use;
+    views_[i].uses = slots_[i].uses;
+  }
+  const int v = policy_->pick_victim(views_);
+  if (v == no_slot) return no_slot;
+  if (v < 0 || static_cast<std::size_t>(v) >= slots_.size() ||
+      slots_[static_cast<std::size_t>(v)].refcount != 0)
+    throw std::logic_error("keyslot_manager: policy picked an invalid victim");
+  return v;
 }
 
 int keyslot_manager::acquire(const keyslot_key& k) {
   ++tick_;
+  ++stats_.acquires;
+  stats_.occupancy_acc += programmed_; // pool state the request found
 
   // Hit: the key is already programmed somewhere.
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].key && *slots_[i].key == k) {
       ++slots_[i].refcount;
       slots_[i].last_use = tick_;
+      ++slots_[i].uses;
       ++stats_.hits;
+      policy_->on_hit(i);
       return static_cast<int>(i);
     }
   }
 
-  // Miss: pick an empty slot, else the least-recently-used idle one.
-  int victim = no_slot;
-  u64 oldest = std::numeric_limits<u64>::max();
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].refcount != 0) continue;
-    if (!slots_[i].key) { // empty slot beats any eviction
-      victim = static_cast<int>(i);
-      break;
-    }
-    if (slots_[i].last_use < oldest) {
-      oldest = slots_[i].last_use;
-      victim = static_cast<int>(i);
-    }
-  }
+  // Miss: the policy picks an empty slot or an idle victim.
+  const int victim = pick_victim();
   if (victim == no_slot) {
     ++stats_.denials;
     return no_slot;
   }
 
   slot& s = slots_[static_cast<std::size_t>(victim)];
-  if (s.key) ++stats_.evictions;
+  const bool displacing = s.key.has_value();
 
   // Program the slot: resolve the backend and expand the key schedule.
+  // Resolution may throw (unknown backend, bad key length); the victim
+  // keeps its old key in that case, so nothing is counted before it.
   const cipher_backend& backend = registry_->at(k.backend);
-  s.cipher = backend.make_keyed(k.key);
+  std::unique_ptr<keyed_cipher> cipher = backend.make_keyed(k.key);
+
+  if (displacing) {
+    ++stats_.evictions;
+    policy_->on_evict(static_cast<std::size_t>(victim));
+    note_victim(s);
+  } else {
+    ++programmed_;
+  }
+  s.cipher = std::move(cipher);
   s.key = k;
   s.refcount = 1;
   s.last_use = tick_;
+  s.uses = 1;
   ++stats_.programs;
+  if (displacing)
+    ++stats_.reprograms;
+  else
+    ++stats_.cold_programs;
+  policy_->on_program(static_cast<std::size_t>(victim));
+
+  if (policy_->wants_prefetch()) maybe_prefetch();
   return victim;
+}
+
+void keyslot_manager::note_victim(const slot& s) {
+  if (!policy_->wants_prefetch()) return;
+  if (s.uses < 2) return; // one-shot keys are not worth restoring
+  for (auto it = victims_.begin(); it != victims_.end(); ++it) {
+    if (it->key == *s.key) {
+      victims_.erase(it);
+      break;
+    }
+  }
+  victims_.push_back({*s.key, s.uses});
+  if (victims_.size() > slots_.size()) victims_.pop_front();
+}
+
+void keyslot_manager::maybe_prefetch() {
+  // Candidate: the most recently displaced hot key not already back in a
+  // slot (entries that returned on their own are dropped as seen).
+  while (!victims_.empty()) {
+    const keyslot_key& cand = victims_.back().key;
+    bool programmed = false;
+    for (const slot& s : slots_)
+      if (s.key && *s.key == cand) {
+        programmed = true;
+        break;
+      }
+    if (!programmed) break;
+    victims_.pop_back();
+  }
+  if (victims_.empty()) return;
+
+  // Target: a cold idle slot — empty beats any displacement; otherwise an
+  // idle one-shot slot (uses <= 1), oldest first. A slot that has proven
+  // reuse is never sacrificed to speculation.
+  int target = no_slot;
+  u64 oldest = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const slot& s = slots_[i];
+    if (s.refcount != 0) continue;
+    if (!s.key) {
+      target = static_cast<int>(i);
+      break;
+    }
+    if (s.uses <= 1 && (target == no_slot || s.last_use < oldest)) {
+      oldest = s.last_use;
+      target = static_cast<int>(i);
+    }
+  }
+  if (target == no_slot) return;
+
+  const victim_entry entry = std::move(victims_.back());
+  victims_.pop_back();
+
+  slot& s = slots_[static_cast<std::size_t>(target)];
+  const cipher_backend& backend = registry_->at(entry.key.backend);
+  std::unique_ptr<keyed_cipher> cipher = backend.make_keyed(entry.key.key);
+  if (s.key) {
+    ++stats_.evictions;
+    policy_->on_evict(static_cast<std::size_t>(target));
+  } else {
+    ++programmed_;
+  }
+  s.cipher = std::move(cipher);
+  s.key = entry.key;
+  s.refcount = 0; // programmed warm, not pinned — the next acquire hits
+  s.last_use = tick_;
+  s.uses = 1;
+  ++stats_.programs;
+  ++stats_.prefetch_programs;
+  policy_->on_program(static_cast<std::size_t>(target));
 }
 
 void keyslot_manager::release(int slot_idx) {
@@ -67,12 +165,22 @@ void keyslot_manager::release(int slot_idx) {
 }
 
 bool keyslot_manager::evict(const keyslot_key& k) {
-  for (auto& s : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slot& s = slots_[i];
     if (s.key && *s.key == k) {
       if (s.refcount != 0) return false;
       s.key.reset();
       s.cipher.reset();
+      s.uses = 0;
+      --programmed_;
       ++stats_.evictions;
+      policy_->on_evict(i);
+      // Session teardown: the key is dead, never worth prefetching back.
+      for (auto it = victims_.begin(); it != victims_.end(); ++it)
+        if (it->key == k) {
+          victims_.erase(it);
+          break;
+        }
       return true;
     }
   }

@@ -27,6 +27,8 @@ edu::soc_config cell_soc(const fleet_cell& c) {
   if (c.kind == edu::engine_kind::inline_keyslot) {
     cfg.keyslot_backend = c.backend;
     cfg.keyslot_auth = c.auth;
+    cfg.keyslot_policy = c.policy;
+    cfg.keyslot_slots = c.keyslot_slots;
   }
   return cfg;
 }
@@ -90,6 +92,11 @@ std::string fleet_cell::label() const {
     name = std::string(edu::engine_name(kind));
   if (kind == edu::engine_kind::inline_keyslot && auth != engine::auth_mode::none)
     name += "+" + std::string(engine::auth_mode_name(auth));
+  if (kind == edu::engine_kind::inline_keyslot &&
+      policy != engine::slot_policy::lru)
+    name += "~" + std::string(engine::slot_policy_name(policy));
+  if (kind == edu::engine_kind::inline_keyslot && keyslot_slots != 0)
+    name += "@" + std::to_string(keyslot_slots);
   name += "/" + std::string(traffic_name(load));
   name += "/" + std::string(drive_mode_name(drive));
   char seed_hex[32];
@@ -181,6 +188,30 @@ fleet_result run_fleet(const fleet_config& cfg) {
   out.pool = run_jobs(n, cfg.threads, [&](std::size_t i) {
     const std::size_t idx = order[i];
     out.cells[idx] = run_cell(cfg.cells[idx]);
+  });
+  out.host_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+churn_fleet_result run_churn_fleet(const churn_fleet_config& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = cfg.cells.size();
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (cfg.shuffle && n > 1) {
+    rng shuffle_rng(cfg.shuffle_seed ^ 0x5F1EE7ULL);
+    for (std::size_t i = n - 1; i > 0; --i) // Fisher-Yates, deterministic
+      std::swap(order[i], order[shuffle_rng.below(i + 1)]);
+  }
+
+  churn_fleet_result out;
+  out.cells.resize(n);
+  out.pool = run_jobs(n, cfg.threads, [&](std::size_t i) {
+    const std::size_t idx = order[i];
+    out.cells[idx] = engine::run_churn(cfg.cells[idx]);
   });
   out.host_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)

@@ -20,6 +20,7 @@
 
 #include "edu/edu.hpp"
 #include "edu/soc.hpp"
+#include "engine/churn.hpp"
 #include "fleet/pool.hpp"
 
 #include <span>
@@ -74,12 +75,19 @@ struct fleet_cell {
   /// engine's attach does.
   engine::auth_mode auth = engine::auth_mode::none;
   std::string backend; ///< empty = keyslot_default_backend
+  /// inline_keyslot only: slot-pool victim policy and size (0 = the
+  /// engine_edu default). Policies never change a cell's DRAM bytes —
+  /// the cross-policy sweep test proves exactly that.
+  engine::slot_policy policy = engine::slot_policy::lru;
+  unsigned keyslot_slots = 0;
   u64 seed = 0x5EC5EEDULL; ///< key material + workload + image derivation
   std::size_t batch_txns = 16; ///< batched drive only
   drive_mode drive = drive_mode::batched;
 
   /// Display label, unique per distinct cell in the standard matrices:
-  /// "<engine>[+auth][/backend]/<traffic>/<drive>[ b<n>] s<seed>".
+  /// "<engine>[+auth][/backend][~policy][@slots]/<traffic>/<drive> s<seed>"
+  /// (the policy/pool marks appear only off the defaults, so the
+  /// committed tab10 labels are unchanged).
   [[nodiscard]] std::string label() const;
 };
 
@@ -155,6 +163,29 @@ struct fleet_result {
 /// \p n copies of \p proto with seeds proto.seed, proto.seed+1, ... —
 /// the seed-sweep axis (distinct key material, workloads and images).
 [[nodiscard]] std::vector<fleet_cell> seed_sweep(fleet_cell proto, std::size_t n);
+
+// --- keyslot churn cells -----------------------------------------------------
+
+/// A fleet of keyslot churn storms (engine/churn.hpp): each cell replays
+/// one Zipf context storm against one private pool — the policy x pool x
+/// skew comparison grid, run with the same work-stealing/shuffle
+/// machinery and the same determinism contract as the SoC cells.
+struct churn_fleet_config {
+  std::vector<engine::churn_config> cells;
+  unsigned threads = 0; ///< pool size; 0 = hardware_concurrency, 1 = serial
+  bool shuffle = false; ///< deterministically shuffled execution order
+  u64 shuffle_seed = 0;
+};
+
+struct churn_fleet_result {
+  std::vector<engine::churn_result> cells; ///< config order, always
+  pool_stats pool;
+  double host_ms = 0.0;
+};
+
+/// Run every churn cell across the pool. Results land in config order;
+/// cell results are bit-identical for any threads/shuffle choice.
+[[nodiscard]] churn_fleet_result run_churn_fleet(const churn_fleet_config& cfg);
 
 // --- serialization -----------------------------------------------------------
 

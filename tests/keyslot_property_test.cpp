@@ -1,0 +1,309 @@
+// Property tests for the pluggable-policy keyslot pool: randomized
+// acquire/release/evict storms against every eviction policy, asserting
+// the invariants that make a slot pool a slot pool — refcounts never go
+// negative, a pinned slot is never evicted or reprogrammed, the slot
+// count is conserved, a warm hit never triggers a demand program, and
+// the stats counters always satisfy their sum rules. Plus directed
+// sequences proving each policy actually differs from LRU where it
+// should, and the pool-exhaustion -> fallback -> recovery regression.
+
+#include "common/rng.hpp"
+#include "engine/bus_encryption_engine.hpp"
+#include "engine/eviction_policy.hpp"
+#include "engine/keyslot_manager.hpp"
+#include "sim/bus.hpp"
+#include "sim/dram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace buscrypt::engine {
+namespace {
+
+keyslot_key make_key(u8 fill, std::size_t du = 32) {
+  return {"aes-ctr", bytes(16, fill), du};
+}
+
+/// The two sum rules every keyslot_stats must satisfy at all times.
+void expect_stats_consistent(const keyslot_stats& s) {
+  EXPECT_EQ(s.programs, s.cold_programs + s.reprograms + s.prefetch_programs);
+  EXPECT_EQ(s.acquires, s.hits + s.cold_programs + s.reprograms + s.denials);
+}
+
+struct lease {
+  int slot;
+  keyslot_key key;
+};
+
+/// One randomized storm against one (policy, pool size, seed) point.
+void run_storm(slot_policy policy, unsigned num_slots, u64 seed) {
+  SCOPED_TRACE(std::string(slot_policy_name(policy)) + " pool " +
+               std::to_string(num_slots) + " seed " + std::to_string(seed));
+  keyslot_manager mgr(backend_registry::builtin(), num_slots, policy);
+  ASSERT_EQ(mgr.policy(), policy);
+
+  // A key universe ~3x the pool so hits, evictions and denials all occur.
+  std::vector<keyslot_key> universe;
+  for (unsigned i = 0; i < 3 * num_slots + 2; ++i)
+    universe.push_back(make_key(static_cast<u8>(0x10 + i)));
+
+  rng r(seed);
+  std::vector<lease> held;
+  const std::size_t max_held = num_slots + 2;
+  keyslot_stats prev = mgr.stats();
+
+  for (int op = 0; op < 3000; ++op) {
+    const u64 dice = r.below(100);
+    if (dice < 55 && held.size() < max_held) {
+      // acquire
+      const keyslot_key& k = universe[r.below(universe.size())];
+      const bool was_pinned_out = mgr.slots_in_use() == num_slots;
+      bool was_programmed = false;
+      for (unsigned s = 0; s < num_slots; ++s) {
+        if (mgr.key_of(static_cast<int>(s)) &&
+            *mgr.key_of(static_cast<int>(s)) == k)
+          was_programmed = true;
+      }
+
+      const int slot = mgr.acquire(k);
+      const keyslot_stats& st = mgr.stats();
+      EXPECT_EQ(st.acquires, prev.acquires + 1);
+      if (slot == keyslot_manager::no_slot) {
+        // Denied: only legal when the pool was fully pinned and the key
+        // was not warm anywhere.
+        EXPECT_TRUE(was_pinned_out);
+        EXPECT_FALSE(was_programmed);
+        EXPECT_EQ(st.denials, prev.denials + 1);
+        EXPECT_EQ(st.programs, prev.programs);
+      } else if (was_programmed) {
+        // Warm hit: never a demand program, never a stall source.
+        EXPECT_EQ(st.hits, prev.hits + 1);
+        EXPECT_EQ(st.programs, prev.programs);
+        EXPECT_EQ(st.evictions, prev.evictions);
+        held.push_back({slot, k});
+      } else {
+        // Demand program: exactly one cold-or-reprogram, plus at most one
+        // prefetch refill rides along.
+        EXPECT_EQ(st.hits, prev.hits);
+        EXPECT_EQ(st.cold_programs + st.reprograms,
+                  prev.cold_programs + prev.reprograms + 1);
+        EXPECT_LE(st.programs, prev.programs + 2);
+        EXPECT_LE(st.prefetch_programs, prev.prefetch_programs + 1);
+        ASSERT_TRUE(mgr.key_of(slot) != nullptr);
+        EXPECT_TRUE(*mgr.key_of(slot) == k);
+        held.push_back({slot, k});
+      }
+      // Occupancy is sampled once per acquire and bounded by the pool.
+      EXPECT_LE(st.occupancy_acc - prev.occupancy_acc, num_slots);
+    } else if (dice < 80 && !held.empty()) {
+      // release a random lease
+      const std::size_t i = r.below(held.size());
+      mgr.release(held[i].slot);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (dice < 90) {
+      // explicit evict of a random key; legal only when present and idle
+      const keyslot_key& k = universe[r.below(universe.size())];
+      bool present = false;
+      for (unsigned s = 0; s < num_slots; ++s) {
+        if (mgr.key_of(static_cast<int>(s)) &&
+            *mgr.key_of(static_cast<int>(s)) == k)
+          present = true;
+      }
+      bool in_use = false;
+      for (const lease& l : held)
+        if (l.key == k) in_use = true;
+      const bool evicted = mgr.evict(k);
+      EXPECT_EQ(evicted, present && !in_use);
+      if (evicted) {
+        EXPECT_EQ(mgr.stats().evictions, prev.evictions + 1);
+      }
+    }
+
+    // Pool-wide invariants, every step.
+    const keyslot_stats& st = mgr.stats();
+    expect_stats_consistent(st);
+    EXPECT_EQ(mgr.num_slots(), num_slots);
+
+    unsigned programmed = 0;
+    for (unsigned s = 0; s < num_slots; ++s)
+      if (mgr.key_of(static_cast<int>(s))) ++programmed;
+    EXPECT_EQ(mgr.slots_programmed(), programmed);
+    EXPECT_LE(programmed, num_slots);
+
+    std::vector<int> pinned;
+    for (const lease& l : held) pinned.push_back(l.slot);
+    std::sort(pinned.begin(), pinned.end());
+    pinned.erase(std::unique(pinned.begin(), pinned.end()), pinned.end());
+    EXPECT_EQ(mgr.slots_in_use(), pinned.size());
+
+    // An in-use slot's key never changes out from under its holder.
+    for (const lease& l : held) {
+      ASSERT_TRUE(mgr.key_of(l.slot) != nullptr);
+      EXPECT_TRUE(*mgr.key_of(l.slot) == l.key)
+          << "pinned slot " << l.slot << " was reprogrammed";
+    }
+    prev = st;
+  }
+
+  for (const lease& l : held) mgr.release(l.slot);
+  EXPECT_EQ(mgr.slots_in_use(), 0u);
+}
+
+TEST(KeyslotProperty, RandomStormsHoldInvariantsAcrossAllPolicies) {
+  for (const slot_policy p : all_slot_policies)
+    for (const unsigned pool : {1u, 2u, 4u, 8u})
+      for (const u64 seed : {0xA11CEULL, 0xB0BULL, 0xCA7ULL})
+        run_storm(p, pool, seed);
+}
+
+TEST(KeyslotProperty, ReleaseOfIdleSlotThrows) {
+  keyslot_manager mgr(backend_registry::builtin(), 2);
+  const int s = mgr.acquire(make_key(0x41));
+  ASSERT_GE(s, 0);
+  mgr.release(s);
+  EXPECT_THROW(mgr.release(s), std::logic_error); // refcount would go negative
+  EXPECT_THROW(mgr.release(7), std::out_of_range);
+}
+
+// --- directed sequences: the policies really are different ------------------
+
+TEST(KeyslotProperty, ClockGivesRecentlyTouchedKeysASecondChance) {
+  // Pool of 3: program A, B, C, then touch A again and demand D.
+  // LRU's victim is B (oldest last_use); CLOCK spends everyone's ref bit
+  // on the first sweep and takes the slot after the hand — evicting A
+  // despite its recent touch. Different victims, by design.
+  const keyslot_key A = make_key(0xA1), B = make_key(0xB2), C = make_key(0xC3),
+                    D = make_key(0xD4);
+  auto survivors = [&](slot_policy p) {
+    keyslot_manager mgr(backend_registry::builtin(), 3, p);
+    for (const keyslot_key* k : {&A, &B, &C}) mgr.release(mgr.acquire(*k));
+    mgr.release(mgr.acquire(A)); // warm touch
+    mgr.release(mgr.acquire(D)); // forces one eviction
+    std::vector<bool> alive(4, false);
+    const keyslot_key* keys[4] = {&A, &B, &C, &D};
+    for (int s = 0; s < 3; ++s)
+      for (int i = 0; i < 4; ++i)
+        if (mgr.key_of(s) && *mgr.key_of(s) == *keys[i]) alive[i] = true;
+    return alive;
+  };
+  const auto lru = survivors(slot_policy::lru);
+  EXPECT_TRUE(lru[0]) << "LRU keeps the re-touched A";
+  EXPECT_FALSE(lru[1]) << "LRU evicts the oldest B";
+  const auto clk = survivors(slot_policy::clock_hand);
+  EXPECT_FALSE(clk[0]) << "CLOCK's hand lands on A after clearing the bits";
+  EXPECT_TRUE(clk[1]);
+  EXPECT_TRUE(clk[3]);
+}
+
+TEST(KeyslotProperty, RefcountPolicyKeepsProvenHotKeys) {
+  // Pool of 2: A serves three acquires, B one. Demanding C makes LRU
+  // evict A (older last_use) but the usage-aware policy evict B (fewer
+  // uses) — hot keys survive one-shot bursts.
+  const keyslot_key A = make_key(0xA1), B = make_key(0xB2), C = make_key(0xC3);
+  auto a_survives = [&](slot_policy p) {
+    keyslot_manager mgr(backend_registry::builtin(), 2, p);
+    for (int i = 0; i < 3; ++i) mgr.release(mgr.acquire(A));
+    mgr.release(mgr.acquire(B));
+    mgr.release(mgr.acquire(C));
+    for (int s = 0; s < 2; ++s)
+      if (mgr.key_of(s) && *mgr.key_of(s) == A) return true;
+    return false;
+  };
+  EXPECT_FALSE(a_survives(slot_policy::lru));
+  EXPECT_TRUE(a_survives(slot_policy::refcount));
+}
+
+TEST(KeyslotProperty, PrefetchRestoresDisplacedHotKeyWithoutAStall) {
+  // Pool of 2: H proves itself hot (three acquires), X programs the
+  // other slot, then Y displaces H. The prefetch policy remembers H and
+  // refills it into the idle one-shot slot (displacing X) during the
+  // same demand program — so the next acquire(H) is a warm hit with no
+  // demand program at all.
+  const keyslot_key H = make_key(0x1A), X = make_key(0x2B), Y = make_key(0x3C);
+  keyslot_manager mgr(backend_registry::builtin(), 2, slot_policy::prefetch);
+  for (int i = 0; i < 3; ++i) mgr.release(mgr.acquire(H));
+  mgr.release(mgr.acquire(X));
+  mgr.release(mgr.acquire(Y)); // evicts H, prefetch brings it back over X
+
+  const keyslot_stats mid = mgr.stats();
+  EXPECT_EQ(mid.prefetch_programs, 1u);
+  expect_stats_consistent(mid);
+
+  const int s = mgr.acquire(H);
+  ASSERT_GE(s, 0);
+  const keyslot_stats& st = mgr.stats();
+  EXPECT_EQ(st.hits, mid.hits + 1) << "prefetched H must be warm";
+  EXPECT_EQ(st.cold_programs + st.reprograms, mid.cold_programs + mid.reprograms)
+      << "a warm hit never demand-programs";
+  mgr.release(s);
+
+  // The same traffic under plain LRU pays a demand program instead.
+  keyslot_manager lru(backend_registry::builtin(), 2, slot_policy::lru);
+  for (int i = 0; i < 3; ++i) lru.release(lru.acquire(H));
+  lru.release(lru.acquire(X));
+  lru.release(lru.acquire(Y));
+  const keyslot_stats before = lru.stats();
+  lru.release(lru.acquire(H));
+  EXPECT_EQ(lru.stats().reprograms, before.reprograms + 1);
+}
+
+// --- pool exhaustion: fallback and recovery ---------------------------------
+
+TEST(KeyslotProperty, ExhaustedPoolFallsBackAndRecoversWithoutSpuriousEviction) {
+  sim::dram dram(1u << 16);
+  sim::external_memory ext(dram);
+  keyslot_manager slots(backend_registry::builtin(), 2);
+  bus_encryption_engine eng(ext, slots);
+
+  const auto ctx = eng.create_context(make_key(0x77));
+  eng.map_region(0, 1u << 16, ctx);
+  bytes image(256);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<u8>(i);
+  eng.install(0, image);
+
+  // Pin the whole pool with two foreign keys; the context key is nowhere.
+  const keyslot_key pinned_key = make_key(0x99);
+  slot_guard g2(slots, pinned_key);
+  ASSERT_TRUE(g2.valid());
+  const int pinned_slot = g2.index();
+  bytes out(32);
+  {
+    slot_guard g1(slots, make_key(0x88));
+    ASSERT_TRUE(g1.valid());
+    ASSERT_EQ(slots.slots_in_use(), 2u);
+
+    ASSERT_EQ(eng.stats().fallbacks, 0u);
+    (void)eng.read(0, out);
+    EXPECT_EQ(eng.stats().fallbacks, 1u)
+        << "pinned-out pool must take software path";
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), image.begin()))
+        << "fallback must still decrypt correctly";
+  } // g1 releases its slot; g2 stays pinned
+
+  // Releasing one slot restores hardware service: the context key takes
+  // the freed slot (one eviction — the released key, nothing else), the
+  // pinned slot keeps its key, and no further fallback happens.
+  const keyslot_stats before = slots.stats();
+  const u64 fallbacks_before = eng.stats().fallbacks;
+
+  (void)eng.read(32, out);
+  EXPECT_EQ(eng.stats().fallbacks, fallbacks_before) << "hardware path restored";
+  EXPECT_EQ(slots.stats().evictions, before.evictions + 1)
+      << "exactly the freed slot is reprogrammed — no spurious eviction";
+  ASSERT_TRUE(slots.key_of(pinned_slot) != nullptr);
+  EXPECT_TRUE(*slots.key_of(pinned_slot) == pinned_key)
+      << "the still-pinned slot is untouched";
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), image.begin() + 32));
+
+  // Warm now: the next read costs no program at all.
+  const u64 programs_now = slots.stats().programs;
+  (void)eng.read(64, out);
+  EXPECT_EQ(slots.stats().programs, programs_now);
+  EXPECT_EQ(eng.stats().fallbacks, fallbacks_before);
+}
+
+} // namespace
+} // namespace buscrypt::engine
