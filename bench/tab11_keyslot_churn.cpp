@@ -37,6 +37,10 @@ struct cli {
   std::size_t contexts = 100'000; // Zipf rank population per cell
   std::size_t ops = 150'000;      // storm length per cell
   const char* json_path = "BENCH_keyslot.json";
+  // Storm-grid policy filter, parsed by slot_policy_name spelling; the
+  // cross-policy equivalence proof always runs all four.
+  bool one_policy = false;
+  buscrypt::engine::slot_policy policy = buscrypt::engine::slot_policy::lru;
 };
 
 cli parse(int argc, char** argv) {
@@ -58,10 +62,16 @@ cli parse(int argc, char** argv) {
       c.ops = static_cast<std::size_t>(std::atoll(v));
     else if (const char* v = arg("--json"))
       c.json_path = v;
-    else {
+    else if (const char* v = arg("--policy")) {
+      if (!buscrypt::engine::parse_slot_policy(v, c.policy)) {
+        std::fprintf(stderr, "unknown --policy '%s'\n", v);
+        std::exit(2);
+      }
+      c.one_policy = true;
+    } else {
       std::fprintf(stderr,
                    "usage: tab11_keyslot_churn [--threads N] [--contexts N]"
-                   " [--ops N] [--json FILE]\n");
+                   " [--ops N] [--json FILE] [--policy NAME]\n");
       std::exit(2);
     }
   }
@@ -82,7 +92,8 @@ int main(int argc, char** argv) {
   // means the small pool saturates (misses pin out and fall back) while
   // the large pool isolates pure eviction behaviour.
   fleet::churn_fleet_config cfg;
-  for (const engine::slot_policy policy : engine::all_slot_policies)
+  for (const engine::slot_policy policy : engine::all_slot_policies) {
+    if (opt.one_policy && policy != opt.policy) continue;
     for (const unsigned pool : {4u, 16u})
       for (const double skew : {0.8, 1.2}) {
         engine::churn_config c;
@@ -95,6 +106,7 @@ int main(int argc, char** argv) {
         c.seed = kSeed;
         cfg.cells.push_back(std::move(c));
       }
+  }
 
   // Serial reference, then the shuffled work-stealing fleet: every cell
   // must be bit-identical between the two (the tab10 determinism proof,

@@ -5,72 +5,29 @@
 // secure DMA engine (Fig. 4) and peripherals all initiate transfers on the
 // one external bus the EDU protects. This bench generalises tab7's
 // single-stream throughput view: N masters (CPU compute, DMA bulk copies,
-// peripheral polling) are time-multiplexed onto every engine by a
-// sim::bus_arbiter, under round-robin and fixed-priority (with aging)
-// policies. Aggregate bytes/cycle shows how far each engine's crypto
-// datapath scales as bandwidth-bound masters join; per-master average
-// latency and starvation streaks show what each policy costs the others.
-// On the keyslot engine the DMA masters run inside private per-master
-// protection domains (own keys) sharing the one slot pool.
+// peripheral polling — the shared cast in multimaster_cast.hpp) are
+// time-multiplexed onto every engine under round-robin and fixed-priority
+// (with aging) policies. Aggregate bytes/cycle shows how far each engine's
+// crypto datapath scales as bandwidth-bound masters join; per-master
+// average latency and starvation streaks show what each policy costs the
+// others. On the keyslot engine the DMA masters run inside private
+// per-master protection domains (own keys) sharing the one slot pool.
+//
+// Usage: tab8_multimaster [--policy round-robin|fixed-priority]
+// With no arguments both policies run and the JSON is unchanged from the
+// committed baseline shape.
 //
 // Emits BENCH_multimaster.json (machine-readable, consumed by CI) next to
 // the console tables.
 
-#include "bench_util.hpp"
+#include "multimaster_cast.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace {
-
-constexpr unsigned kBanks = 8;
-constexpr std::size_t kWindowTxns = 8;
-constexpr buscrypt::u64 kStarvationLimit = 32;
-
-constexpr buscrypt::addr_t kDma1Src = 2u << 20;
-constexpr buscrypt::addr_t kDma1Dst = (2u << 20) + (1u << 19);
-constexpr buscrypt::addr_t kDma2Src = 4u << 20;
-constexpr buscrypt::addr_t kDma2Dst = (4u << 20) + (1u << 19);
-constexpr buscrypt::addr_t kPeriphRegs = 3u << 20;
-constexpr std::size_t kDmaBytes = 48 * 1024;
-
-buscrypt::edu::soc_config multimaster_soc() {
-  buscrypt::edu::soc_config cfg = buscrypt::bench::default_soc();
-  cfg.mem_timing.banks = kBanks;
-  return cfg;
-}
-
-/// The full 4-master cast; a run with N masters takes the first N.
-/// Order matters for the scaling story: the bandwidth-bound DMA engines
-/// join before the latency-bound peripheral.
-std::vector<buscrypt::edu::master_desc> full_cast(bool keyslot_domains) {
-  using namespace buscrypt;
-  std::vector<edu::master_desc> m(4);
-  m[0].role = edu::master_kind::cpu;
-  m[0].name = "cpu";
-  m[0].work = sim::make_data_rw(4000, 64 * 1024, 0.5, 0.4, 8, 0x7AB8);
-  m[0].priority = 5;
-  m[1].role = edu::master_kind::dma;
-  m[1].name = "dma0";
-  m[1].work = sim::make_dma_copy(kDmaBytes, kDma1Src, kDma1Dst, 128, 0x7AB9);
-  m[1].priority = 1;
-  m[2].role = edu::master_kind::dma;
-  m[2].name = "dma1";
-  m[2].work = sim::make_dma_copy(kDmaBytes, kDma2Src, kDma2Dst, 128, 0x7ABA);
-  m[2].priority = 1;
-  m[3].role = edu::master_kind::peripheral;
-  m[3].name = "periph";
-  m[3].work = sim::make_peripheral_poll(2000, kPeriphRegs, 8, 64, 16, 0x7ABB);
-  m[3].priority = 9;
-  if (keyslot_domains) {
-    m[1].domain_base = kDma1Src;
-    m[1].domain_len = 1u << 20;
-    m[2].domain_base = kDma2Src;
-    m[2].domain_len = 1u << 20;
-  }
-  return m;
-}
 
 struct run_result {
   std::size_t masters = 0;
@@ -89,14 +46,34 @@ struct engine_result {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace buscrypt;
   bench::banner("Tab. 8 — multi-master bus: aggregate throughput and per-master latency",
                 "Fig. 4 secure DMA as a first-class master; arbitration policies");
 
+  // Default sweep: both policies, in all_arb_policies order (the committed
+  // JSON shape). --policy narrows to one, parsed by its canonical name.
+  std::vector<sim::arb_policy> policies(std::begin(sim::all_arb_policies),
+                                        std::end(sim::all_arb_policies));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      sim::arb_policy p{};
+      if (!sim::parse_arb_policy(argv[++i], p)) {
+        std::fprintf(stderr, "unknown --policy '%s' (", argv[i]);
+        for (const sim::arb_policy q : sim::all_arb_policies)
+          std::fprintf(stderr, "%s%s", q == sim::all_arb_policies[0] ? "" : "|",
+                       std::string(sim::arb_policy_name(q)).c_str());
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+      policies.assign(1, p);
+    } else {
+      std::fprintf(stderr, "usage: %s [--policy <name>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const bytes image = bench::firmware_image(64 * 1024, 0x5EED);
-  constexpr sim::arb_policy kPolicies[] = {sim::arb_policy::round_robin,
-                                           sim::arb_policy::fixed_priority};
 
   const bench::host_timer wall;
   unsigned long long total_txns = 0;
@@ -104,18 +81,20 @@ int main() {
   for (edu::engine_kind kind : edu::all_engines()) {
     engine_result er;
     er.name = std::string(edu::engine_name(kind));
-    const auto cast = full_cast(kind == edu::engine_kind::inline_keyslot);
-    for (const sim::arb_policy policy : kPolicies) {
+    const auto cast =
+        bench::multimaster_cast(kind == edu::engine_kind::inline_keyslot);
+    for (const sim::arb_policy policy : policies) {
       policy_result pr;
       pr.policy = policy;
       for (std::size_t n = 1; n <= cast.size(); ++n) {
-        edu::secure_soc soc(kind, multimaster_soc());
+        edu::secure_soc soc(kind, bench::multimaster_soc());
         soc.load_image(0, image);
         edu::multi_master_config mm;
         mm.policy = policy;
-        mm.window_txns = kWindowTxns;
-        mm.starvation_limit =
-            policy == sim::arb_policy::fixed_priority ? kStarvationLimit : 0;
+        mm.window_txns = bench::kMmWindowTxns;
+        mm.starvation_limit = policy == sim::arb_policy::fixed_priority
+                                  ? bench::kMmStarvationLimit
+                                  : 0;
         const std::vector<edu::master_desc> subset(cast.begin(), cast.begin() + n);
         pr.runs.push_back({n, soc.run_multi_master(subset, mm)});
         total_txns += pr.runs.back().stats.txns;
@@ -126,7 +105,7 @@ int main() {
   }
 
   // Aggregate throughput vs master count, per policy.
-  for (std::size_t p = 0; p < 2; ++p) {
+  for (std::size_t p = 0; p < policies.size(); ++p) {
     table t({"engine", "B/cyc x1", "B/cyc x2", "B/cyc x3", "B/cyc x4",
              "periph lat x4", "cpu max-wait x4"});
     for (const engine_result& er : results) {
@@ -140,14 +119,14 @@ int main() {
                  table::num(static_cast<unsigned long long>(four.masters[0].max_wait_streak))});
     }
     std::printf("policy: %s\n%s\n",
-                std::string(sim::arb_policy_name(kPolicies[p])).c_str(),
+                std::string(sim::arb_policy_name(policies[p])).c_str(),
                 t.str().c_str());
   }
   std::printf("masters join in order cpu, dma0, dma1, periph; %u banks, windows\n"
               "of %zu txns, fixed-priority ages at %llu rounds. Keyslot DMA\n"
               "masters run in private per-master protection domains.\n",
-              kBanks, kWindowTxns,
-              static_cast<unsigned long long>(kStarvationLimit));
+              bench::kMmBanks, bench::kMmWindowTxns,
+              static_cast<unsigned long long>(bench::kMmStarvationLimit));
 
   std::FILE* json = std::fopen("BENCH_multimaster.json", "w");
   if (!json) {
@@ -160,7 +139,8 @@ int main() {
                "  \"window_txns\": %zu,\n  \"starvation_limit\": %llu,\n"
                "  \"host_ms\": %.1f,\n  \"host_ops_per_sec\": %.0f,\n"
                "  \"engines\": [\n",
-               kBanks, kWindowTxns, static_cast<unsigned long long>(kStarvationLimit),
+               bench::kMmBanks, bench::kMmWindowTxns,
+               static_cast<unsigned long long>(bench::kMmStarvationLimit),
                total_ms, bench::host_ops_per_sec(total_txns, total_ms));
   for (std::size_t e = 0; e < results.size(); ++e) {
     const engine_result& er = results[e];

@@ -191,6 +191,17 @@ void secure_soc::prepare_txn_stream() {
 
 sim::arbiter_stats secure_soc::run_multi_master(std::span<const master_desc> masters,
                                                 const multi_master_config& mm) {
+  // The flat bus is the degenerate topology (one implicit cluster, no
+  // firewall tables): run_topology takes the bit-identical grant sequence
+  // and never attaches the engine firewall, so every PR 3 number holds.
+  const sim::topology topo(
+      sim::arbiter_config{mm.policy, mm.window_txns, mm.starvation_limit});
+  return run_topology(masters, topo).noc.bus;
+}
+
+topology_run_stats secure_soc::run_topology(std::span<const master_desc> masters,
+                                            const sim::topology& topo,
+                                            const grant_observer& observe) {
   prepare_txn_stream();
 
   // Per-master protection domains on the keyslot engine. Keys derive from
@@ -237,14 +248,46 @@ sim::arbiter_stats secure_soc::run_multi_master(std::span<const master_desc> mas
     bus_masters.emplace_back(std::move(bc), d.work);
   }
 
-  sim::bus_arbiter arbiter(*edu_, {mm.policy, mm.window_txns, mm.starvation_limit});
-  for (sim::bus_master& m : bus_masters) arbiter.add_master(m);
+  sim::interconnect ic(*edu_, topo);
+  for (sim::bus_master& m : bus_masters) ic.add_master(m);
   // Scalar-path beats (adapted EDUs, detours) are attributed per granted
-  // window; the arbiter restores cpu_master when the bus falls idle.
-  arbiter.set_grant_hook([this](sim::master_id m) { ext_.set_master(m); });
+  // window; the interconnect restores cpu_master when the bus falls idle.
+  ic.set_grant_hook([this, &ic, &observe](sim::master_id m) {
+    ext_.set_master(m);
+    if (observe) observe(ic, m);
+  });
+
+  // Attach the topology's firewall to the engine for the run's duration
+  // (rule tables checked before span_for). Keyslot engine only, and only
+  // when there is a table to enforce — a table-free topology must stay on
+  // the untouched PR 3 datapath, cycle for cycle. The guard detaches on
+  // every exit path: the firewall dies with this frame.
+  struct fw_guard {
+    engine::bus_encryption_engine* eng = nullptr;
+    ~fw_guard() {
+      if (eng != nullptr) eng->set_firewall(nullptr);
+    }
+  } fw;
+  if (kind_ == engine_kind::inline_keyslot && ic.firewall().any_table()) {
+    fw.eng = &static_cast<engine_edu&>(*edu_).engine();
+    fw.eng->set_firewall(&ic.firewall());
+  }
+
+  topology_run_stats out;
   // The domain guard unwinds the run's mappings on return or throw; the
   // ciphertext the domains wrote stays in DRAM.
-  return arbiter.run();
+  out.noc = ic.run();
+  out.firewall.reserve(masters.size());
+  for (std::size_t i = 0; i < masters.size(); ++i)
+    out.firewall.push_back(ic.firewall().stats(static_cast<sim::master_id>(i)));
+  out.sentinel_denials = ic.firewall().sentinel_denials();
+  if (kind_ == engine_kind::inline_keyslot) {
+    const auto& eng = static_cast<engine_edu&>(*edu_).engine();
+    out.domains.reserve(masters.size());
+    for (std::size_t i = 0; i < masters.size(); ++i)
+      out.domains.push_back(eng.domain(static_cast<sim::master_id>(i)));
+  }
+  return out;
 }
 
 sim::throughput_stats secure_soc::run_throughput(const sim::workload& w,

@@ -184,6 +184,11 @@ void bus_encryption_engine::note_domain(master_id m, bool is_write, std::size_t 
   st.bytes += n;
 }
 
+void bus_encryption_engine::note_firewall(master_id m) {
+  ++domain_slot(m).firewall_denials;
+  ++stats_.firewall_denials;
+}
+
 const keyslot_key& bus_encryption_engine::context_key(context_id ctx) const {
   if (ctx >= contexts_.size() || !context_live_[ctx])
     throw std::out_of_range("context_key: bad context id");
@@ -461,7 +466,23 @@ cycles bus_encryption_engine::read(addr_t addr, std::span<u8> out) {
   cycles t = 0;
   std::size_t off = 0;
   while (off < out.size()) {
-    const access_span s = span_for(active_master_, addr + off, out.size() - off);
+    std::size_t lim = out.size() - off;
+    if (fw_ != nullptr) {
+      // Rule tables sit in front of the domain map: a denied span is the
+      // bus-error fill, never plaintext, and span_for is not consulted.
+      const sim::fw_span fd = fw_->check(active_master_, addr + off, lim,
+                                         /*is_write=*/false);
+      if (!fd.allowed) {
+        std::span<u8> part = out.subspan(off, fd.len);
+        std::fill(part.begin(), part.end(), fault_fill);
+        note_firewall(active_master_);
+        t += cfg_.fault_cycles;
+        off += fd.len;
+        continue;
+      }
+      lim = fd.len;
+    }
+    const access_span s = span_for(active_master_, addr + off, lim);
     std::span<u8> part = out.subspan(off, s.len);
     if (!s.allowed) {
       // Firewall denial: bus-error fill, never the domain's plaintext,
@@ -486,7 +507,20 @@ cycles bus_encryption_engine::write(addr_t addr, std::span<const u8> in) {
   cycles t = 0;
   std::size_t off = 0;
   while (off < in.size()) {
-    const access_span s = span_for(active_master_, addr + off, in.size() - off);
+    std::size_t lim = in.size() - off;
+    if (fw_ != nullptr) {
+      const sim::fw_span fd = fw_->check(active_master_, addr + off, lim,
+                                         /*is_write=*/true);
+      if (!fd.allowed) {
+        // Denied writes are dropped whole, like domain denials below.
+        note_firewall(active_master_);
+        t += cfg_.fault_cycles;
+        off += fd.len;
+        continue;
+      }
+      lim = fd.len;
+    }
+    const access_span s = span_for(active_master_, addr + off, lim);
     if (!s.allowed) {
       // Denied writes are dropped whole: the owning domain's ciphertext
       // (and plaintext) is untouched.
@@ -710,6 +744,16 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
     seg_ctx.clear();
     bool eligible = !txn.segments.empty();
     for (const sim::txn_segment& seg : txn.segments) {
+      if (fw_ != nullptr) {
+        // peek, not check: the counting check happens exactly once per
+        // served span — at staging below, or inside the scalar detour.
+        const sim::fw_span fd =
+            fw_->peek(txn.master, seg.addr, seg.data.size(), txn.is_write());
+        if (!fd.allowed || fd.len != seg.data.size()) {
+          eligible = false;
+          break;
+        }
+      }
       const access_span s = span_for(txn.master, seg.addr, seg.data.size());
       if (!s.allowed || s.ctx == no_context || s.len != seg.data.size()) {
         eligible = false;
@@ -796,6 +840,8 @@ void bus_encryption_engine::submit(std::span<sim::mem_txn> batch) {
       const keyslot_key& k = contexts_[ctx];
       memory_authenticator* auth = auths_[ctx].get();
       const std::size_t du = k.data_unit_size;
+      if (fw_ != nullptr) // the allowed span's one counting check (rule hit)
+        (void)fw_->check(txn.master, seg.addr, seg.data.size(), txn.is_write());
       note_domain(txn.master, txn.is_write(), seg.data.size(), /*fault=*/false);
       if (txn.is_write()) {
         staged.emplace_back(seg.data.begin(), seg.data.end());

@@ -26,6 +26,7 @@
 
 #include "engine/keyslot_manager.hpp"
 #include "engine/memory_authenticator.hpp"
+#include "sim/firewall.hpp"
 #include "sim/memory_port.hpp"
 
 #include <utility>
@@ -62,6 +63,7 @@ struct engine_stats {
   u64 batched_txns = 0;   ///< transactions carried by those batches
   u64 batch_native = 0;   ///< transactions taken by the pipelined batch path
   u64 domain_faults = 0;  ///< cross-domain accesses denied by the firewall
+  u64 firewall_denials = 0; ///< spans refused by the per-master rule tables
   u64 integrity_faults = 0; ///< authenticated units that failed verification
   u64 reprogram_stalls = 0; ///< requests that waited for a demand key program
   cycles reprogram_stall_cycles = 0; ///< cycles those waits cost (in crypto_cycles)
@@ -75,6 +77,7 @@ struct domain_stats {
   u64 writes = 0;  ///< protected spans written by this master
   u64 bytes = 0;   ///< payload bytes through protected regions
   u64 faults = 0;  ///< accesses denied (region bound to another master)
+  u64 firewall_denials = 0; ///< spans this master's rule table refused
   u64 integrity_faults = 0; ///< tampered units this master fetched
 };
 
@@ -165,6 +168,15 @@ class bus_encryption_engine final : public sim::memory_port {
   /// be switched from outside).
   [[nodiscard]] master_id active_master() const noexcept { return active_master_; }
 
+  /// Attach the interconnect's bus firewall: every request is checked
+  /// against it *before* the protection-domain map — Cotret et al.'s rule
+  /// tables sit at the master's bus interface, in front of the EDU, so a
+  /// denied span never reaches span_for (reads get the fault_fill
+  /// bus-error pattern, writes are dropped, fault_cycles charged).
+  /// Referenced, not owned; nullptr detaches (the PR 3 behaviour).
+  void set_firewall(sim::bus_firewall* fw) noexcept { fw_ = fw; }
+  [[nodiscard]] sim::bus_firewall* firewall() const noexcept { return fw_; }
+
   /// Per-master traffic/denial counters (empty stats for unseen masters).
   [[nodiscard]] domain_stats domain(master_id m) const noexcept;
 
@@ -253,6 +265,10 @@ class bus_encryption_engine final : public sim::memory_port {
   /// Record protected-region traffic (or a denial) against \p m.
   void note_domain(master_id m, bool is_write, std::size_t n, bool fault);
 
+  /// Charge one firewall-denied span: engine + per-master counters (the
+  /// bus_firewall's own per-rule counters were bumped by check()).
+  void note_firewall(master_id m);
+
   /// \p m's counters, created on first sight (few masters: linear scan).
   [[nodiscard]] domain_stats& domain_slot(master_id m);
 
@@ -264,6 +280,7 @@ class bus_encryption_engine final : public sim::memory_port {
   std::vector<std::unique_ptr<memory_authenticator>> auths_; ///< by context id
   std::vector<region> regions_;
   std::vector<std::pair<master_id, domain_stats>> domains_; ///< few masters: linear
+  sim::bus_firewall* fw_ = nullptr; ///< checked before span_for when attached
   master_id active_master_ = sim::cpu_master;
   engine_stats stats_;
 };

@@ -82,6 +82,26 @@ sim::workload cell_workload(const fleet_cell& c) {
   return w;
 }
 
+/// Footprint slice of one noc master: the largest power of two that fits
+/// footprint/noc_masters (keyslot domain bounds stay data-unit aligned at
+/// any master count), floored at 4 KiB so tiny cells stay well-formed.
+std::size_t noc_slice(const fleet_cell& c) {
+  const std::size_t n = c.noc_masters == 0 ? 1 : c.noc_masters;
+  std::size_t slice = c.footprint / n;
+  while ((slice & (slice - 1)) != 0) slice &= slice - 1;
+  return std::max<std::size_t>(slice, 4096);
+}
+
+/// Base address of one noc master's slice. Slices live above the
+/// installed image (which occupies [0, footprint)): the image region is
+/// read-only under compress_otp, and every other engine treats the split
+/// identically, so the cast stays engine-agnostic.
+addr_t noc_slice_base(const fleet_cell& c, std::size_t i) {
+  const auto data_base =
+      static_cast<addr_t>(std::max<std::size_t>(1u << 20, c.footprint));
+  return data_base + static_cast<addr_t>(i * noc_slice(c));
+}
+
 } // namespace
 
 std::string fleet_cell::label() const {
@@ -99,6 +119,11 @@ std::string fleet_cell::label() const {
     name += "@" + std::to_string(keyslot_slots);
   name += "/" + std::string(traffic_name(load));
   name += "/" + std::string(drive_mode_name(drive));
+  if (drive == drive_mode::noc) {
+    name += std::to_string(noc_masters) + "x" + std::to_string(noc_clusters);
+    if (noc_qos) name += "+qos";
+    if (noc_firewall) name += "+fw";
+  }
   char seed_hex[32];
   std::snprintf(seed_hex, sizeof seed_hex, " s%llx",
                 static_cast<unsigned long long>(seed));
@@ -112,7 +137,8 @@ bool cell_result::sim_equal(const cell_result& o) const noexcept {
          edu.crypto_cycles == o.edu.crypto_cycles && edu.rmw_ops == o.edu.rmw_ops &&
          edu.batches == o.edu.batches && edu.batched_txns == o.edu.batched_txns &&
          integrity_faults == o.integrity_faults && domain_faults == o.domain_faults &&
-         fallbacks == o.fallbacks && dram_fnv == o.dram_fnv;
+         firewall_denials == o.firewall_denials && fallbacks == o.fallbacks &&
+         dram_fnv == o.dram_fnv;
 }
 
 u64 fnv1a(std::span<const u8> data) noexcept {
@@ -122,6 +148,84 @@ u64 fnv1a(std::span<const u8> data) noexcept {
     h *= 0x00000100000001B3ULL;
   }
   return h;
+}
+
+std::vector<edu::master_desc> noc_cast(const fleet_cell& cell) {
+  const std::size_t n = cell.noc_masters == 0 ? 1 : cell.noc_masters;
+  const std::size_t slice = noc_slice(cell);
+  const std::size_t per = std::max<std::size_t>(cell.accesses / n, 64);
+
+  std::vector<edu::master_desc> cast(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    edu::master_desc& d = cast[i];
+    const addr_t base = noc_slice_base(cell, i);
+    const u64 seed = cell.seed ^ (0x40C0000ULL + i);
+    // The tab8 cast ratio, repeated: one compute stream, two bulk movers,
+    // one poller per group of four.
+    switch (i % 4) {
+      case 1:
+      case 2:
+        d.role = edu::master_kind::dma;
+        d.name = "dma" + std::to_string(i);
+        d.work = sim::make_dma_copy(
+            std::min<std::size_t>(
+                (std::max<std::size_t>(per * 4, 1024) + 127) / 128 * 128,
+                slice / 2 / 128 * 128),
+            base, base + slice / 2, 128, seed);
+        d.priority = 1;
+        break;
+      case 3:
+        d.role = edu::master_kind::peripheral;
+        d.name = "periph" + std::to_string(i);
+        d.work = sim::make_peripheral_poll(per, base, 8, 64, 16, seed);
+        d.priority = 9;
+        break;
+      default:
+        d.role = edu::master_kind::cpu;
+        d.name = "cpu" + std::to_string(i);
+        d.work = sim::confine_workload(
+            sim::make_data_rw(per, slice / 2, 0.5, 0.4, 8, seed), base, slice);
+        d.priority = 5;
+        break;
+    }
+    if (cell.kind == edu::engine_kind::inline_keyslot && slice >= 4096) {
+      d.domain_base = base;
+      d.domain_len = slice;
+    }
+  }
+  return cast;
+}
+
+sim::topology noc_topology(const fleet_cell& cell) {
+  const std::size_t n = cell.noc_masters == 0 ? 1 : cell.noc_masters;
+  const std::size_t slice = noc_slice(cell);
+
+  sim::topology topo(sim::arbiter_config{sim::arb_policy::round_robin, 8, 0});
+  // QoS classes live on declared slots, so a flat QoS cell declares one
+  // explicit cluster — bit-identical arbitration to the implicit one.
+  const std::size_t k =
+      cell.noc_clusters > 0 ? cell.noc_clusters : (cell.noc_qos ? 1 : 0);
+  std::vector<sim::cluster_id> clusters;
+  for (std::size_t c = 0; c < k; ++c) {
+    sim::cluster_config cc;
+    cc.name = "c" + std::to_string(c);
+    cc.arb = topo.root();
+    clusters.push_back(topo.add_cluster(cc));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto m = static_cast<sim::master_id>(i);
+    sim::qos_class cls = sim::qos_class::none;
+    if (cell.noc_qos)
+      cls = i % 4 == 3                     ? sim::qos_class::latency
+            : (i % 4 == 1 || i % 4 == 2) ? sim::qos_class::bulk
+                                         : sim::qos_class::none;
+    if (!clusters.empty()) topo.add_master(clusters[i % clusters.size()], m, cls);
+    if (cell.noc_firewall) {
+      const addr_t base = noc_slice_base(cell, i);
+      topo.add_firewall_rule(m, {base, slice, sim::fw_perm::rw, 0});
+    }
+  }
+  return topo;
 }
 
 cell_result run_cell(const fleet_cell& cell) {
@@ -150,6 +254,14 @@ cell_result run_cell(const fleet_cell& cell) {
       r.total_cycles = rs.total_cycles;
       break;
     }
+    case drive_mode::noc: {
+      const std::vector<edu::master_desc> cast = noc_cast(cell);
+      const edu::topology_run_stats ts = soc.run_topology(cast, noc_topology(cell));
+      r.ops = ts.noc.bus.txns;
+      r.bytes = ts.noc.bus.bytes;
+      r.total_cycles = ts.noc.bus.total_cycles;
+      break;
+    }
   }
   soc.flush();
 
@@ -159,6 +271,7 @@ cell_result run_cell(const fleet_cell& cell) {
         static_cast<edu::engine_edu&>(soc.engine()).engine().stats();
     r.integrity_faults = es.integrity_faults;
     r.domain_faults = es.domain_faults;
+    r.firewall_denials = es.firewall_denials;
     r.fallbacks = es.fallbacks;
   }
   r.dram_fnv = fnv1a(soc.memory().raw());
@@ -323,12 +436,14 @@ std::string fleet_json(const fleet_config& cfg, const fleet_result& r,
         static_cast<unsigned long long>(c.seed), c.accesses);
     add("\"ops\": %llu, \"bytes\": %llu, \"cycles\": %llu, "
         "\"bytes_per_cycle\": %.6f, \"integrity_faults\": %llu, "
-        "\"domain_faults\": %llu, \"fallbacks\": %llu, \"dram_fnv\": \"%016llx\"",
+        "\"domain_faults\": %llu, \"firewall_denials\": %llu, "
+        "\"fallbacks\": %llu, \"dram_fnv\": \"%016llx\"",
         static_cast<unsigned long long>(cr.ops),
         static_cast<unsigned long long>(cr.bytes),
         static_cast<unsigned long long>(cr.total_cycles), cr.bytes_per_cycle(),
         static_cast<unsigned long long>(cr.integrity_faults),
         static_cast<unsigned long long>(cr.domain_faults),
+        static_cast<unsigned long long>(cr.firewall_denials),
         static_cast<unsigned long long>(cr.fallbacks),
         static_cast<unsigned long long>(cr.dram_fnv));
     if (include_host) add(", \"host_ms\": %.1f", cr.host_ms);

@@ -34,6 +34,7 @@ enum class drive_mode : u8 {
   batched, ///< run_throughput with mem_txn batches (the tab7 fast path)
   scalar,  ///< run_throughput one blocking request at a time
   cpu,     ///< full CPU + L1 execution via secure_soc::run
+  noc,     ///< multi-master interconnect via secure_soc::run_topology
 };
 
 [[nodiscard]] constexpr std::string_view drive_mode_name(drive_mode m) noexcept {
@@ -41,6 +42,7 @@ enum class drive_mode : u8 {
     case drive_mode::batched: return "batched";
     case drive_mode::scalar: return "scalar";
     case drive_mode::cpu: return "cpu";
+    case drive_mode::noc: return "noc";
   }
   return "?";
 }
@@ -83,11 +85,21 @@ struct fleet_cell {
   u64 seed = 0x5EC5EEDULL; ///< key material + workload + image derivation
   std::size_t batch_txns = 16; ///< batched drive only
   drive_mode drive = drive_mode::batched;
+  // noc drive only (every other drive ignores all four): the interconnect
+  // shape. The heterogeneous cast (CPU compute, DMA movers, peripheral
+  // pollers — see noc_cast) partitions the footprint; noc_clusters == 0
+  // is the flat implicit cluster (run_multi_master-equivalent), >= 1
+  // deals the masters round-robin into that many explicit clusters.
+  std::size_t noc_masters = 4;
+  std::size_t noc_clusters = 0;
+  bool noc_qos = false;      ///< role-derived QoS classes (dma bulk, periph latency)
+  bool noc_firewall = false; ///< per-master whitelists over each slice
 
   /// Display label, unique per distinct cell in the standard matrices:
   /// "<engine>[+auth][/backend][~policy][@slots]/<traffic>/<drive> s<seed>"
-  /// (the policy/pool marks appear only off the defaults, so the
-  /// committed tab10 labels are unchanged).
+  /// (noc drive renders as "noc<m>x<c>[+qos][+fw]"; the policy/pool marks
+  /// appear only off the defaults, so the committed tab10 labels are
+  /// unchanged).
   [[nodiscard]] std::string label() const;
 };
 
@@ -102,6 +114,7 @@ struct cell_result {
   edu::edu_stats edu;     ///< the engine-front counters every EDU keeps
   u64 integrity_faults = 0; ///< keyslot engines only
   u64 domain_faults = 0;    ///< keyslot engines only
+  u64 firewall_denials = 0; ///< keyslot noc cells only (rule-table refusals)
   u64 fallbacks = 0;        ///< keyslot engines only
   u64 dram_fnv = 0; ///< FNV-1a over the post-flush external memory image
   // Host speed (machine-dependent, excluded from equivalence).
@@ -143,6 +156,22 @@ struct fleet_result {
 /// Run one cell, fully isolated: builds the SoC, installs a seed-derived
 /// image, drives it, flushes, and checksums external memory.
 [[nodiscard]] cell_result run_cell(const fleet_cell& cell);
+
+/// The heterogeneous master cast of a noc cell: noc_masters descriptors
+/// in the repeating role pattern cpu, dma, dma, periph, each over its own
+/// slice of the footprint (DMA movers copy within the slice, pollers spin
+/// on slice-base registers; on the keyslot engine each slice is that
+/// master's private protection domain). Deterministic in (seed,
+/// footprint, accesses, noc_masters) only — the scenario axis tab12 and
+/// the fleet cells share.
+[[nodiscard]] std::vector<edu::master_desc> noc_cast(const fleet_cell& cell);
+
+/// The topology of a noc cell: flat when noc_clusters == 0, otherwise the
+/// masters dealt round-robin into that many clusters; role-derived QoS
+/// classes when noc_qos; a per-master rw whitelist over each slice when
+/// noc_firewall (in-slice traffic never trips it, so the firewalled cell
+/// moves the same bytes — the denial counters prove containment).
+[[nodiscard]] sim::topology noc_topology(const fleet_cell& cell);
 
 /// Run every cell of \p cfg across the pool. Results land in config
 /// order; an exception in any cell aborts the fleet and rethrows.

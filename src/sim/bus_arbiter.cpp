@@ -1,8 +1,19 @@
 #include "sim/bus_arbiter.hpp"
 
+#include "sim/interconnect.hpp"
+
 #include <stdexcept>
 
 namespace buscrypt::sim {
+
+bool parse_arb_policy(std::string_view name, arb_policy& out) noexcept {
+  for (const arb_policy p : all_arb_policies)
+    if (name == arb_policy_name(p)) {
+      out = p;
+      return true;
+    }
+  return false;
+}
 
 bus_arbiter::bus_arbiter(memory_port& port, arbiter_config cfg)
     : port_(&port), cfg_(cfg) {
@@ -24,85 +35,14 @@ void bus_arbiter::set_grant_hook(std::function<void(master_id)> hook) {
   grant_hook_ = std::move(hook);
 }
 
-int bus_arbiter::pick() {
-  const std::size_t n = masters_.size();
-  if (n == 0) return -1;
-
-  if (cfg_.policy == arb_policy::round_robin) {
-    for (std::size_t step = 0; step < n; ++step) {
-      const std::size_t i = (rr_next_ + step) % n;
-      if (masters_[i]->pending()) {
-        rr_next_ = (i + 1) % n;
-        return static_cast<int>(i);
-      }
-    }
-    return -1;
-  }
-
-  // fixed_priority. Aging first: the longest-waiting master past the
-  // starvation limit pre-empts priority (ties toward registration order).
-  int starved = -1;
-  if (cfg_.starvation_limit > 0) {
-    u64 longest = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const u64 streak = masters_[i]->wait_streak();
-      if (masters_[i]->pending() && streak >= cfg_.starvation_limit && streak > longest) {
-        longest = streak;
-        starved = static_cast<int>(i);
-      }
-    }
-  }
-  if (starved >= 0) return starved;
-
-  int best = -1;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!masters_[i]->pending()) continue;
-    if (best < 0 ||
-        masters_[i]->config().priority > masters_[static_cast<std::size_t>(best)]->config().priority)
-      best = static_cast<int>(i);
-  }
-  return best;
-}
-
 arbiter_stats bus_arbiter::run() {
-  arbiter_stats st;
-  cycles clock = 0;
-  std::vector<mem_txn> window;
-  window.reserve(cfg_.window_txns);
-
-  // Restore the default attribution once the bus falls idle — on every
-  // exit path: if a window submission throws, downstream beat tagging
-  // must not stay stuck on the last granted master.
-  struct hook_restore {
-    const std::function<void(master_id)>* hook;
-    ~hook_restore() {
-      if (*hook) (*hook)(cpu_master);
-    }
-  } restore{&grant_hook_};
-
-  for (int g = pick(); g >= 0; g = pick()) {
-    bus_master& granted = *masters_[static_cast<std::size_t>(g)];
-    if (grant_hook_) grant_hook_(granted.config().id);
-
-    const std::size_t n = granted.stage(cfg_.window_txns, window);
-    port_->submit(window);
-    const cycles makespan = port_->drain();
-    granted.retire(window, clock, makespan);
-    clock += makespan;
-
-    ++st.rounds;
-    st.txns += n;
-    for (bus_master* other : masters_)
-      if (other != &granted && other->pending()) other->note_wait();
-  }
-
-  st.total_cycles = clock;
-  st.masters.reserve(masters_.size());
-  for (const bus_master* m : masters_) {
-    st.bytes += m->stats().bytes;
-    st.masters.push_back(m->stats());
-  }
-  return st;
+  // The flat bus is the degenerate topology: one implicit cluster holding
+  // every registered master, arbitrated by this config. The interconnect
+  // takes the bit-identical grant sequence (see interconnect.hpp).
+  interconnect ic(*port_, topology(cfg_));
+  for (bus_master* m : masters_) ic.add_master(*m);
+  if (grant_hook_) ic.set_grant_hook(grant_hook_);
+  return ic.run().bus;
 }
 
 } // namespace buscrypt::sim

@@ -43,6 +43,13 @@ enum class arb_policy : u8 {
   return "?";
 }
 
+/// Parse an arb_policy from its arb_policy_name() spelling. Returns false
+/// (and leaves \p out untouched) on an unknown name.
+[[nodiscard]] bool parse_arb_policy(std::string_view name, arb_policy& out) noexcept;
+
+inline constexpr arb_policy all_arb_policies[] = {arb_policy::round_robin,
+                                                  arb_policy::fixed_priority};
+
 struct arbiter_config {
   arb_policy policy = arb_policy::round_robin;
   std::size_t window_txns = 8; ///< transactions per granted bus window
@@ -72,6 +79,13 @@ struct arbiter_stats {
 
 /// The arbiter. Owns neither the port nor the masters; drives the whole
 /// contention to completion in run().
+///
+/// \deprecated Direct construction is the legacy flat-bus API, kept as a
+/// compatibility shim: run() builds a single-cluster sim::topology and
+/// delegates to sim::interconnect, which takes the bit-identical grant
+/// sequence. New code should declare a topology (interconnect.hpp) and
+/// drive it through sim::interconnect or edu::soc::run_topology — that is
+/// the only way to reach clusters, QoS classes, and bus firewalls.
 class bus_arbiter {
  public:
   bus_arbiter(memory_port& port, arbiter_config cfg);
@@ -91,14 +105,10 @@ class bus_arbiter {
   [[nodiscard]] arbiter_stats run();
 
  private:
-  /// Index of the next master to grant, or -1 when all streams are dry.
-  [[nodiscard]] int pick();
-
   memory_port* port_;
   arbiter_config cfg_;
   std::vector<bus_master*> masters_;
   std::function<void(master_id)> grant_hook_;
-  std::size_t rr_next_ = 0; ///< round-robin rotation cursor
 };
 
 } // namespace buscrypt::sim

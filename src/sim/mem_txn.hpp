@@ -49,8 +49,12 @@ inline constexpr master_id cpu_master = 0;
 
 /// Reserved sentinel — never a real master. It means "any/all masters"
 /// wherever a master id selects a scope: the engine's shared-region owner,
-/// the trace analyser's unfiltered view. bus_arbiter rejects masters
-/// registered with it, so it cannot appear on the bus.
+/// the trace analyser's unfiltered view. Registering a master with this id
+/// throws at the arbiter/interconnect, and a transaction forged with it is
+/// an *accounted denial*, not a silent drop: the bus firewall refuses it
+/// whole (bus_firewall::sentinel_denials), and the engine serves the 0xFF
+/// bus-error fill through the fault path so the attempt shows up in
+/// engine_stats like any other firewall denial.
 inline constexpr master_id any_master = static_cast<master_id>(-1);
 
 /// Direction of a transaction, as seen from the requester.

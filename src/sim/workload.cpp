@@ -207,6 +207,15 @@ workload offset_workload(workload w, addr_t base) {
   return w;
 }
 
+workload confine_workload(workload w, addr_t base, std::size_t len) {
+  require(len >= 64 && len % 8 == 0,
+          "confine_workload: len must be >= 64 and a multiple of 8");
+  for (mem_access& acc : w.accesses)
+    acc.addr = base + acc.addr % static_cast<addr_t>(len);
+  w.footprint = len;
+  return w;
+}
+
 std::vector<port_op> to_port_ops(const workload& w, std::size_t chunk) {
   require(chunk >= 8 && chunk % 8 == 0, "to_port_ops: chunk must be a multiple of 8");
   std::vector<port_op> ops;

@@ -71,6 +71,15 @@ namespace buscrypt::sim {
 /// makes per-master solo-vs-concurrent equivalence well defined.
 [[nodiscard]] workload offset_workload(workload w, addr_t base);
 
+/// Confine a workload to the window [base, base + len): every access
+/// address folds to base + addr % len. The CPU-style generators place
+/// code at frame offset 0 and data at the 1 MiB mark, so offset_workload
+/// alone cannot keep a master inside a narrow slice of the shared map —
+/// this can, which is what the interconnect's firewalled masters (fleet
+/// noc cells, tab12's whitelisted accelerator) need. \p len must be a
+/// multiple of 8 so every access keeps its alignment and lands whole.
+[[nodiscard]] workload confine_workload(workload w, addr_t base, std::size_t len);
+
 /// The common suite the tab1 survey-overheads bench runs every engine on:
 /// a mix representative of embedded firmware (mostly sequential code, some
 /// branches, moderate data traffic).

@@ -1,0 +1,610 @@
+// Topology-first interconnect: builder/bind validation, the bus_firewall
+// span-splitting and accounting contract, live reprogramming's
+// window-boundary atomicity, QoS bandwidth reservation and class aging,
+// flat-vs-one-cluster bit identity across every engine (fleet noc cells),
+// the soc::run_topology driver, and the parse_*/name_* helper pairs the
+// bench CLIs route through.
+
+#include "edu/engine_edu.hpp"
+#include "edu/soc.hpp"
+#include "engine/bus_encryption_engine.hpp"
+#include "engine/eviction_policy.hpp"
+#include "engine/memory_authenticator.hpp"
+#include "fleet/fleet.hpp"
+#include "sim/bus.hpp"
+#include "sim/firewall.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace buscrypt {
+namespace {
+
+using namespace sim;
+using edu::engine_kind;
+
+// --- compile-time contracts --------------------------------------------------
+
+static_assert(qos_class_name(qos_class::bulk) == "bulk");
+static_assert(fw_perm_name(fw_perm::rw) == "rw");
+static_assert(default_qos_params(qos_class::none).weight == 1,
+              "class none must hold no reservation by default");
+static_assert(firewall_rule{}.perm == fw_perm::rw,
+              "a default-constructed rule must grant, not block");
+
+// --- shared fixtures ---------------------------------------------------------
+
+/// Fixed-latency scalar-only port (same shape the arbiter tests use).
+class fixed_latency_port final : public memory_port {
+ public:
+  explicit fixed_latency_port(std::size_t size, cycles latency)
+      : image_(size, 0), latency_(latency) {}
+
+  cycles read(addr_t addr, std::span<u8> out) override {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = image_[addr + i];
+    return latency_;
+  }
+  cycles write(addr_t addr, std::span<const u8> in) override {
+    for (std::size_t i = 0; i < in.size(); ++i) image_[addr + i] = in[i];
+    return latency_;
+  }
+
+ private:
+  bytes image_;
+  cycles latency_;
+};
+
+/// n_ops chunk-granular sequential reads starting at base.
+std::vector<port_op> read_stream(addr_t base, std::size_t n_ops, std::size_t chunk) {
+  std::vector<port_op> ops;
+  ops.reserve(n_ops);
+  for (std::size_t i = 0; i < n_ops; ++i) ops.push_back({base + i * chunk, false});
+  return ops;
+}
+
+bus_master_config master_cfg(master_id id, const char* name, unsigned priority,
+                             std::size_t chunk = 32) {
+  bus_master_config c;
+  c.id = id;
+  c.name = name;
+  c.priority = priority;
+  c.chunk = chunk;
+  return c;
+}
+
+// --- parse_*/name_* helper pairs ---------------------------------------------
+
+TEST(InterconnectParse, HelperPairsRoundTripEveryName) {
+  for (const arb_policy p : all_arb_policies) {
+    arb_policy out = arb_policy::fixed_priority;
+    EXPECT_TRUE(parse_arb_policy(arb_policy_name(p), out));
+    EXPECT_EQ(out, p);
+  }
+  for (const qos_class c : all_qos_classes) {
+    qos_class out = qos_class::none;
+    EXPECT_TRUE(parse_qos_class(qos_class_name(c), out));
+    EXPECT_EQ(out, c);
+  }
+  for (const fw_perm p : all_fw_perms) {
+    fw_perm out = fw_perm::none;
+    EXPECT_TRUE(parse_fw_perm(fw_perm_name(p), out));
+    EXPECT_EQ(out, p);
+  }
+  for (const engine::auth_mode m : engine::all_auth_modes) {
+    engine::auth_mode out = engine::auth_mode::none;
+    EXPECT_TRUE(engine::parse_auth_mode(engine::auth_mode_name(m), out));
+    EXPECT_EQ(out, m);
+  }
+  for (const engine::slot_policy p : engine::all_slot_policies) {
+    engine::slot_policy out = engine::slot_policy::lru;
+    EXPECT_TRUE(engine::parse_slot_policy(engine::slot_policy_name(p), out));
+    EXPECT_EQ(out, p);
+  }
+}
+
+TEST(InterconnectParse, UnknownNamesAreRejectedAndLeaveOutUntouched) {
+  arb_policy ap = arb_policy::fixed_priority;
+  EXPECT_FALSE(parse_arb_policy("token-ring", ap));
+  EXPECT_EQ(ap, arb_policy::fixed_priority);
+
+  qos_class qc = qos_class::realtime;
+  EXPECT_FALSE(parse_qos_class("best-effort", qc));
+  EXPECT_FALSE(parse_qos_class("", qc));
+  EXPECT_EQ(qc, qos_class::realtime);
+
+  fw_perm fp = fw_perm::w;
+  EXPECT_FALSE(parse_fw_perm("rwx", fp));
+  EXPECT_EQ(fp, fw_perm::w);
+}
+
+// --- topology builder validation ---------------------------------------------
+
+TEST(InterconnectTopology, BuilderValidatesShape) {
+  topology t;
+  cluster_config bad;
+  bad.arb.window_txns = 0;
+  EXPECT_THROW((void)t.add_cluster(bad), std::invalid_argument);
+
+  const cluster_id c = t.add_cluster({"compute", {arb_policy::round_robin, 4, 0}, 1,
+                                      qos_class::none});
+  EXPECT_THROW(t.add_master(static_cast<cluster_id>(7), 1), std::invalid_argument);
+  t.add_master(c, 1);
+  EXPECT_THROW(t.add_master(c, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_master(c, any_master), std::invalid_argument);
+
+  EXPECT_THROW(t.set_qos(master_id{9}, qos_class::bulk), std::invalid_argument);
+  EXPECT_THROW(t.set_qos_params(qos_class::bulk, {0, 0}), std::invalid_argument);
+
+  EXPECT_THROW(t.add_firewall_rule(1, {0x1000, 0, fw_perm::rw, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(t.add_firewall_rule(any_master, {0x1000, 0x100, fw_perm::rw, 0}),
+               std::invalid_argument);
+
+  EXPECT_FALSE(t.qos_enabled());
+  t.set_qos(master_id{1}, qos_class::bulk);
+  EXPECT_TRUE(t.qos_enabled());
+}
+
+TEST(InterconnectTopology, BindingsAreValidatedAndFlatClusterIsImplicit) {
+  fixed_latency_port port(64 * 1024, 10);
+  EXPECT_THROW((void)interconnect(port, topology({arb_policy::round_robin, 0, 0})),
+               std::invalid_argument);
+
+  // A topology with no clusters gets the implicit flat "bus" cluster — the
+  // bus_arbiter compatibility shape.
+  interconnect ic(port, topology({arb_policy::round_robin, 4, 0}));
+  ASSERT_EQ(ic.topo().clusters().size(), 1u);
+  EXPECT_EQ(ic.topo().clusters()[0].name, "bus");
+
+  bus_master a(master_cfg(1, "a", 0), read_stream(0, 4, 32));
+  bus_master dup(master_cfg(1, "dup", 0), read_stream(4096, 4, 32));
+  bus_master forged(master_cfg(any_master, "forged", 0), read_stream(8192, 4, 32));
+  ic.add_master(a);
+  EXPECT_THROW(ic.add_master(dup), std::invalid_argument);
+  EXPECT_THROW(ic.add_master(forged), std::invalid_argument);
+}
+
+// --- bus_firewall span semantics ---------------------------------------------
+
+TEST(InterconnectFirewall, PeekSplitsSpansFirstMatchWins) {
+  bus_firewall fw;
+  fw.program(1, {{0x1000, 0x100, fw_perm::rw, 0},
+                 {0x1080, 0x100, fw_perm::none, 0},
+                 {0x2000, 0x100, fw_perm::r, 0}});
+
+  // No table: the port is open and the whole request passes untouched.
+  const fw_span open = fw.peek(9, 0x1234, 0x40, true);
+  EXPECT_TRUE(open.allowed);
+  EXPECT_EQ(open.len, 0x40u);
+  EXPECT_EQ(open.rule, -1);
+
+  // Rules 0 and 1 overlap at [0x1080, 0x1100): the earlier rule wins there,
+  // and the allowed prefix ends where rule 0's range does.
+  const fw_span head = fw.peek(1, 0x1080, 0x100, false);
+  EXPECT_TRUE(head.allowed);
+  EXPECT_EQ(head.len, 0x80u);
+  EXPECT_EQ(head.rule, 0);
+
+  // The continuation falls to rule 1, an explicit block rule.
+  const fw_span tail = fw.peek(1, 0x1100, 0x80, false);
+  EXPECT_FALSE(tail.allowed);
+  EXPECT_EQ(tail.len, 0x80u);
+  EXPECT_EQ(tail.rule, 1);
+
+  // Permission bits are direction-sensitive: rule 2 is read-only.
+  EXPECT_TRUE(fw.peek(1, 0x2000, 0x40, false).allowed);
+  EXPECT_FALSE(fw.peek(1, 0x2000, 0x40, true).allowed);
+  EXPECT_EQ(fw.peek(1, 0x2000, 0x40, true).rule, 2);
+
+  // A programmed port default-denies unmatched addresses, but only up to
+  // the first point where some rule would start to decide differently.
+  const fw_span gap = fw.peek(1, 0x0, 0x2000, false);
+  EXPECT_FALSE(gap.allowed);
+  EXPECT_EQ(gap.len, 0x1000u);
+  EXPECT_EQ(gap.rule, -1);
+
+  const fw_span past = fw.peek(1, 0x3000, 0x40, false);
+  EXPECT_FALSE(past.allowed);
+  EXPECT_EQ(past.len, 0x40u);
+  EXPECT_EQ(past.rule, -1);
+}
+
+TEST(InterconnectFirewall, CheckAttributesPerRuleAndPerMasterCounters) {
+  bus_firewall fw;
+  fw.program(1, {{0x1000, 0x100, fw_perm::rw, 0}, {0x2000, 0x100, fw_perm::r, 7}});
+  EXPECT_EQ(fw.reprograms(), 1u);
+
+  EXPECT_TRUE(fw.check(1, 0x1000, 0x20, false).allowed);  // rule 0 hit
+  EXPECT_FALSE(fw.check(1, 0x2000, 0x20, true).allowed);  // rule 1 perm deny
+  EXPECT_FALSE(fw.check(1, 0x5000, 0x20, false).allowed); // default deny, no rule
+
+  const fw_master_stats st = fw.stats(1);
+  EXPECT_EQ(st.checks, 3u);
+  EXPECT_EQ(st.denies, 2u);
+  ASSERT_EQ(st.rules.size(), 2u);
+  EXPECT_EQ(st.rules[0].hits, 1u);
+  EXPECT_EQ(st.rules[0].denies, 0u);
+  EXPECT_EQ(st.rules[1].hits, 0u);
+  EXPECT_EQ(st.rules[1].denies, 1u); // the default denial is unattributed
+
+  // Pure lookups never count; a never-checked master reads back zeros.
+  (void)fw.peek(1, 0x1000, 0x20, false);
+  EXPECT_EQ(fw.stats(1).checks, 3u);
+  EXPECT_EQ(fw.stats(9).checks, 0u);
+
+  // Reinstalling a table resets its per-rule counters (new table, new rules).
+  fw.program(1, {{0x1000, 0x100, fw_perm::rw, 0}});
+  EXPECT_EQ(fw.reprograms(), 2u);
+  EXPECT_EQ(fw.stats(1).rules.size(), 1u);
+  EXPECT_EQ(fw.stats(1).rules[0].hits, 0u);
+
+  EXPECT_THROW(fw.program(any_master, {{0, 0x100, fw_perm::rw, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(fw.program(1, {{0, 0, fw_perm::rw, 0}}), std::invalid_argument);
+}
+
+TEST(InterconnectFirewall, ForgedSentinelIsDeniedWholeAndAccounted) {
+  bus_firewall fw;
+  // Even with no tables at all: no rule table can vouch for "every master".
+  const fw_span s = fw.peek(any_master, 0x1000, 0x100, false);
+  EXPECT_FALSE(s.allowed);
+  EXPECT_EQ(s.len, 0x100u); // refused whole, never split
+  EXPECT_EQ(fw.sentinel_denials(), 0u);
+  (void)fw.check(any_master, 0x1000, 0x100, false);
+  (void)fw.check(any_master, 0x2000, 0x40, true);
+  EXPECT_EQ(fw.sentinel_denials(), 2u);
+}
+
+TEST(InterconnectFirewall, StageCommitSwapsTablesAtomically) {
+  bus_firewall fw;
+  fw.program(1, {{0x0, 0x1000, fw_perm::rw, 0}});
+  fw.stage(1, {{0x0, 0x1000, fw_perm::none, 0}});
+  fw.stage(2, {{0x8000, 0x1000, fw_perm::r, 0}});
+  EXPECT_TRUE(fw.has_staged());
+
+  // Staged tables are invisible until commit: master 1 still passes, and
+  // master 2's port is still open.
+  EXPECT_TRUE(fw.peek(1, 0x0, 0x20, true).allowed);
+  EXPECT_TRUE(fw.peek(2, 0x0, 0x20, true).allowed);
+
+  // A second stage for the same master replaces the first, not stacks.
+  fw.stage(1, {{0x0, 0x800, fw_perm::none, 0}});
+  EXPECT_EQ(fw.commit(), 2u);
+  EXPECT_FALSE(fw.has_staged());
+  EXPECT_FALSE(fw.peek(1, 0x0, 0x20, true).allowed);
+  ASSERT_NE(fw.table(1), nullptr);
+  EXPECT_EQ(fw.table(1)->front().len, 0x800u);
+  EXPECT_FALSE(fw.peek(2, 0x0, 0x20, true).allowed); // whitelisted now
+  EXPECT_TRUE(fw.peek(2, 0x8000, 0x20, false).allowed);
+
+  fw.clear(2);
+  EXPECT_TRUE(fw.peek(2, 0x0, 0x20, true).allowed); // open port again
+}
+
+// --- live reprogramming under traffic ----------------------------------------
+
+TEST(InterconnectReprogram, MidRunStagedTableCommitsAtTheNextWindowBoundary) {
+  fixed_latency_port port(64 * 1024, 10);
+  topology t({arb_policy::round_robin, 4, 0});
+  t.add_firewall_rule(1, {0, 64 * 1024, fw_perm::rw, 0});
+  interconnect ic(port, std::move(t));
+
+  bus_master m0(master_cfg(0, "cpu", 0), read_stream(0, 24, 32));
+  bus_master m1(master_cfg(1, "accel", 0), read_stream(0x4000, 24, 32));
+  ic.add_master(m0);
+  ic.add_master(m1);
+
+  // Snapshot the live table at every grant; stage a lockdown at grant 2.
+  std::vector<fw_perm> perms_seen;
+  ic.set_grant_hook([&](master_id) {
+    perms_seen.push_back(ic.firewall().table(1)->front().perm);
+    if (perms_seen.size() == 3)
+      ic.reprogram_firewall(1, {{0, 64 * 1024, fw_perm::none, 0}});
+  });
+
+  const interconnect_stats st = ic.run();
+  EXPECT_EQ(st.bus.rounds, 12u); // 48 ops / window of 4
+  // 12 grants plus the exit path's attribution-restore callback.
+  ASSERT_EQ(perms_seen.size(), 13u);
+
+  // The staging grant's window still ran under the old table; every later
+  // window saw the new one — nothing flipped mid-window.
+  EXPECT_EQ(perms_seen[2], fw_perm::rw);
+  for (std::size_t g = 3; g < perms_seen.size(); ++g)
+    EXPECT_EQ(perms_seen[g], fw_perm::none) << "grant " << g;
+
+  EXPECT_EQ(st.firewall_reprograms, 1u);
+  EXPECT_GT(st.reconfig_latency_sum, 0u); // at least the staging window's makespan
+  EXPECT_EQ(st.reconfig_latency_max, st.reconfig_latency_sum);
+  EXPECT_FALSE(ic.firewall().has_staged());
+}
+
+TEST(InterconnectReprogram, TableStagedInTheFinalWindowStillLands) {
+  fixed_latency_port port(64 * 1024, 10);
+  topology t({arb_policy::round_robin, 4, 0});
+  t.add_firewall_rule(1, {0, 64 * 1024, fw_perm::rw, 0});
+  interconnect ic(port, std::move(t));
+
+  bus_master m1(master_cfg(1, "accel", 0), read_stream(0, 8, 32));
+  ic.add_master(m1);
+  u64 grants = 0;
+  ic.set_grant_hook([&](master_id) {
+    if (++grants == 2) // the last window of the run
+      ic.reprogram_firewall(1, {{0, 64 * 1024, fw_perm::none, 0}});
+  });
+
+  const interconnect_stats st = ic.run();
+  EXPECT_EQ(st.bus.rounds, 2u);
+  EXPECT_EQ(st.firewall_reprograms, 1u);
+  EXPECT_GT(st.reconfig_latency_max, 0u);
+  EXPECT_FALSE(ic.firewall().has_staged());
+  EXPECT_EQ(ic.firewall().table(1)->front().perm, fw_perm::none);
+}
+
+// --- QoS reservation and aging -----------------------------------------------
+
+TEST(InterconnectQos, ReservationSharesBandwidthByClassWeight) {
+  fixed_latency_port port(64 * 1024, 10);
+  topology t({arb_policy::round_robin, 4, 0});
+  const cluster_id c = t.add_cluster({"bus", {arb_policy::round_robin, 4, 0}, 0,
+                                      qos_class::none});
+  t.add_master(c, 0, qos_class::bulk);
+  t.add_master(c, 1, qos_class::none);
+  ASSERT_TRUE(t.qos_enabled());
+  interconnect ic(port, std::move(t));
+
+  bus_master mover(master_cfg(0, "mover", 0), read_stream(0, 64, 32));
+  bus_master other(master_cfg(1, "other", 0), read_stream(0x8000, 64, 32));
+  ic.add_master(mover);
+  ic.add_master(other);
+
+  const interconnect_stats st = ic.run();
+  ASSERT_EQ(st.qos.size(), 4u); // one entry per class once QoS engages
+  u64 bulk_grants = 0;
+  for (const qos_class_stats& q : st.qos)
+    if (q.cls == qos_class::bulk) bulk_grants = q.grants;
+  // The mover's 16 windows all arrive as bulk-class grants. (Class-none
+  // totals also absorb the root's cluster grants, so cross-class grant
+  // counts are not directly comparable — the reservation shows up in the
+  // wait/finish asymmetry instead.)
+  EXPECT_EQ(bulk_grants, 16u);
+  // bulk reserves a 4:1 share: the mover never waits more than one round
+  // while the best-effort master sits out whole credit bursts, so the
+  // mover drains first even under round-robin.
+  EXPECT_LE(st.bus.masters[0].max_wait_streak, 1u);
+  EXPECT_GE(st.bus.masters[1].max_wait_streak, 3u);
+  EXPECT_LT(st.bus.masters[0].finish_cycle, st.bus.masters[1].finish_cycle);
+  EXPECT_EQ(st.bus.masters[0].txns, 64u);
+  EXPECT_EQ(st.bus.masters[1].txns, 64u);
+  EXPECT_EQ(st.bus.bytes, 2 * 64 * 32u);
+}
+
+TEST(InterconnectQos, PlainTopologyReportsNoQosLayer) {
+  fixed_latency_port port(64 * 1024, 10);
+  interconnect ic(port, topology({arb_policy::round_robin, 4, 0}));
+  bus_master a(master_cfg(0, "a", 0), read_stream(0, 8, 32));
+  ic.add_master(a);
+  EXPECT_TRUE(ic.run().qos.empty());
+}
+
+TEST(InterconnectQos, AgingBoundsAStarvedClasssWait) {
+  const auto starved_streak = [](u64 latency_aging_limit) {
+    fixed_latency_port port(64 * 1024, 10);
+    topology t({arb_policy::round_robin, 4, 0});
+    const cluster_id c = t.add_cluster({"bus", {arb_policy::round_robin, 4, 0}, 0,
+                                        qos_class::none});
+    t.add_master(c, 0, qos_class::bulk);
+    t.add_master(c, 1, qos_class::latency);
+    t.set_qos_params(qos_class::bulk, {16, 0}); // a crushing reservation
+    t.set_qos_params(qos_class::latency, {1, latency_aging_limit});
+    interconnect ic(port, std::move(t));
+
+    bus_master mover(master_cfg(0, "mover", 0), read_stream(0, 120, 32));
+    bus_master poller(master_cfg(1, "poller", 0), read_stream(0x8000, 120, 32));
+    ic.add_master(mover);
+    ic.add_master(poller);
+
+    const interconnect_stats st = ic.run();
+    for (const qos_class_stats& q : st.qos)
+      if (q.cls == qos_class::latency) return q;
+    return qos_class_stats{};
+  };
+
+  // Strict 16:1 credits starve the poller's class for a full credit round.
+  const qos_class_stats strict = starved_streak(0);
+  EXPECT_EQ(strict.preempts, 0u);
+  EXPECT_GE(strict.max_streak, 15u);
+
+  // Aging pre-empts the credit choice once the class has waited 6 rounds.
+  const qos_class_stats aged = starved_streak(6);
+  EXPECT_GT(aged.preempts, 0u);
+  EXPECT_LE(aged.max_streak, 7u);
+  EXPECT_LT(aged.max_streak, strict.max_streak);
+}
+
+// --- flat vs clustered bit identity, every engine -----------------------------
+
+class InterconnectSweep : public ::testing::TestWithParam<engine_kind> {};
+
+TEST_P(InterconnectSweep, FlatAndOneClusterNocCellsAreBitIdentical) {
+  // The implicit flat cluster and one explicit cluster must take the same
+  // grant sequence, so the whole simulated state — bytes, cycles, engine
+  // counters, post-flush DRAM image — is identical across every engine.
+  fleet::fleet_cell flat;
+  flat.kind = GetParam();
+  flat.accesses = 2000;
+  flat.footprint = 256 * 1024;
+  flat.drive = fleet::drive_mode::noc;
+  flat.noc_masters = 4;
+  flat.noc_clusters = 0;
+
+  fleet::fleet_cell one = flat;
+  one.noc_clusters = 1;
+
+  const fleet::cell_result a = fleet::run_cell(flat);
+  fleet::cell_result b = fleet::run_cell(one);
+  EXPECT_NE(a.label, b.label); // the cluster count is part of the label
+  b.label = a.label;
+  EXPECT_TRUE(a.sim_equal(b)) << edu::engine_name(GetParam()) << ": flat "
+                              << a.total_cycles << " cycles / fnv " << a.dram_fnv
+                              << " vs clustered " << b.total_cycles << " / "
+                              << b.dram_fnv;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, InterconnectSweep,
+                         ::testing::ValuesIn(edu::all_engines()),
+                         [](const ::testing::TestParamInfo<engine_kind>& info) {
+                           std::string n(edu::engine_name(info.param));
+                           for (char& c : n)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+// --- the soc-level topology driver -------------------------------------------
+
+std::vector<edu::master_desc> small_cast() {
+  std::vector<edu::master_desc> cast(3);
+  cast[0].role = edu::master_kind::cpu;
+  cast[0].work = make_data_rw(1200, 64 * 1024, 0.35, 0.3, 4, 11);
+  cast[0].priority = 1;
+  cast[1].role = edu::master_kind::dma;
+  cast[1].work = make_dma_copy(16 * 1024, 2u << 20, (2u << 20) + (1u << 19), 128, 12);
+  cast[1].priority = 3;
+  cast[2].role = edu::master_kind::peripheral;
+  cast[2].work = make_peripheral_poll(400, 3u << 20, 4, 64, 8, 13);
+  cast[2].priority = 2;
+  return cast;
+}
+
+TEST(InterconnectSoc, RunTopologyMatchesTheDeprecatedFlatShim) {
+  const std::vector<edu::master_desc> cast = small_cast();
+  edu::multi_master_config mm;
+  mm.policy = arb_policy::fixed_priority;
+  mm.window_txns = 8;
+  mm.starvation_limit = 4;
+
+  edu::secure_soc legacy(engine_kind::inline_keyslot, {});
+  legacy.load_image(0, bytes(64 * 1024, 0x5A));
+  const arbiter_stats flat = legacy.run_multi_master(cast, mm);
+
+  edu::secure_soc topo(engine_kind::inline_keyslot, {});
+  topo.load_image(0, bytes(64 * 1024, 0x5A));
+  const edu::topology_run_stats tree = topo.run_topology(
+      cast, topology({mm.policy, mm.window_txns, mm.starvation_limit}));
+
+  EXPECT_EQ(flat.rounds, tree.noc.bus.rounds);
+  EXPECT_EQ(flat.txns, tree.noc.bus.txns);
+  EXPECT_EQ(flat.bytes, tree.noc.bus.bytes);
+  EXPECT_EQ(flat.total_cycles, tree.noc.bus.total_cycles);
+  ASSERT_EQ(flat.masters.size(), tree.noc.bus.masters.size());
+  for (std::size_t i = 0; i < flat.masters.size(); ++i) {
+    EXPECT_EQ(flat.masters[i].grants, tree.noc.bus.masters[i].grants) << i;
+    EXPECT_EQ(flat.masters[i].finish_cycle, tree.noc.bus.masters[i].finish_cycle) << i;
+    EXPECT_EQ(flat.masters[i].latency_sum, tree.noc.bus.masters[i].latency_sum) << i;
+    EXPECT_EQ(flat.masters[i].wait_rounds, tree.noc.bus.masters[i].wait_rounds) << i;
+  }
+  EXPECT_EQ(tree.sentinel_denials, 0u);
+}
+
+TEST(InterconnectSoc, RunTopologySurfacesFirewallAndDomainAccounting) {
+  // A whitelisted "accelerator" whose rule covers only half of its working
+  // window: the out-of-rule half must show up as accounted denials in the
+  // per-master, per-rule and engine-side counters — and the open CPU port
+  // must stay untouched by the firewall layer.
+  constexpr addr_t accel_base = 1u << 20;
+  constexpr std::size_t accel_len = 32 * 1024;
+
+  std::vector<edu::master_desc> cast(2);
+  cast[0].role = edu::master_kind::cpu;
+  cast[0].work = confine_workload(make_data_rw(800, 64 * 1024, 0.5, 0.4, 8, 21), 0,
+                                  32 * 1024);
+  cast[1].role = edu::master_kind::cpu;
+  cast[1].name = "accel";
+  cast[1].work = confine_workload(make_data_rw(800, 64 * 1024, 0.9, 0.4, 8, 22),
+                                  accel_base, accel_len);
+
+  topology t({arb_policy::round_robin, 8, 0});
+  t.add_firewall_rule(1, {accel_base, accel_len / 2, fw_perm::rw, 0});
+
+  edu::secure_soc soc(engine_kind::inline_keyslot, {});
+  soc.load_image(0, bytes(32 * 1024, 0xC3));
+  const edu::topology_run_stats ts = soc.run_topology(cast, t);
+
+  ASSERT_EQ(ts.firewall.size(), 2u);
+  EXPECT_EQ(ts.firewall[0].checks, 0u); // open port: never consulted
+  EXPECT_GT(ts.firewall[1].checks, 0u);
+  EXPECT_GT(ts.firewall[1].denies, 0u); // the unwhitelisted upper half
+  EXPECT_LT(ts.firewall[1].denies, ts.firewall[1].checks);
+  ASSERT_EQ(ts.firewall[1].rules.size(), 1u);
+  EXPECT_GT(ts.firewall[1].rules[0].hits, 0u);
+  EXPECT_EQ(ts.sentinel_denials, 0u);
+  EXPECT_EQ(ts.domains.size(), 2u); // keyslot engine reports per-master domains
+
+  // Denials rode the engine's fault path, not the bus: the denied spans
+  // are charged as engine firewall denials, one for one.
+  const auto& eng =
+      static_cast<edu::engine_edu&>(soc.engine()).engine();
+  EXPECT_EQ(eng.stats().firewall_denials, ts.firewall[1].denies);
+}
+
+TEST(InterconnectSoc, DeniedReadsServeTheBusErrorFillNotPlaintext) {
+  // Regression for the mem_txn any_master contract: a request the firewall
+  // refuses is an *accounted* denial — reads come back as 0xFF bus-error
+  // fill with nothing of the plaintext, writes are dropped before the bus,
+  // and a forged any_master tag is refused whole.
+  sim::dram chip(8u << 20);
+  sim::external_memory ext(chip);
+  rng rand(0x7AC7);
+  engine::keyslot_manager slots(engine::backend_registry::builtin(), 4);
+  engine::bus_encryption_engine eng(ext, slots);
+  const auto ctx = eng.create_context(
+      {std::string(edu::keyslot_default_backend), rand.random_bytes(16), 32});
+  eng.map_region(0, 1u << 20, ctx);
+  bytes plain(256);
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    plain[i] = static_cast<u8>(0x5A ^ i);
+  eng.install(0x40000, plain);
+
+  bus_firewall fw;
+  fw.program(2, {{0x10000, 0x10000, fw_perm::rw, 0}});
+  eng.set_firewall(&fw);
+
+  const auto read_as = [&](master_id who, addr_t addr, std::span<u8> out) {
+    mem_txn t = mem_txn::read_of(1, addr, out);
+    t.master = who;
+    eng.submit({&t, 1});
+    (void)eng.drain();
+  };
+
+  bytes denied(256, 0);
+  read_as(2, 0x40000, denied);
+  for (const u8 b : denied) ASSERT_EQ(b, 0xFF);
+  EXPECT_GT(eng.stats().firewall_denials, 0u);
+  EXPECT_EQ(fw.stats(2).denies, 1u);
+
+  bytes junk(256, 0x77);
+  mem_txn w = mem_txn::write_of(2, 0x40000, junk);
+  w.master = 2;
+  eng.submit({&w, 1});
+  (void)eng.drain();
+  bytes after(256);
+  eng.read_plain(0x40000, after);
+  EXPECT_EQ(after, plain); // the denied write never reached memory
+
+  bytes open(256, 0);
+  read_as(cpu_master, 0x40000, open);
+  EXPECT_EQ(open, plain); // no table for the CPU: its port is open
+
+  bytes forged(64, 0);
+  read_as(any_master, 0x40000, forged);
+  for (const u8 b : forged) ASSERT_EQ(b, 0xFF);
+  EXPECT_EQ(fw.sentinel_denials(), 1u);
+}
+
+} // namespace
+} // namespace buscrypt

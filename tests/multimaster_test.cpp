@@ -10,6 +10,7 @@
 #include "sim/bus.hpp"
 #include "sim/bus_arbiter.hpp"
 #include "sim/bus_master.hpp"
+#include "sim/interconnect.hpp"
 #include "sim/workload.hpp"
 
 #include <gtest/gtest.h>
@@ -130,32 +131,35 @@ TEST(OffsetWorkload, ShiftsEveryAccess) {
 }
 
 // --- arbiter: grant policies and accounting ----------------------------------
+// These run through the topology-first interconnect (a topology with no
+// clusters is the flat bus); one deliberate shim test below keeps the
+// deprecated bus_arbiter constructor honest.
 
 TEST(Arbiter, RejectsBadConfigAndDuplicateIds) {
   fixed_latency_port port(4096, 10);
-  EXPECT_THROW(bus_arbiter(port, {arb_policy::round_robin, 0, 0}),
+  EXPECT_THROW(interconnect(port, topology({arb_policy::round_robin, 0, 0})),
                std::invalid_argument);
-  bus_arbiter arb(port, {arb_policy::round_robin, 4, 0});
+  interconnect ic(port, topology({arb_policy::round_robin, 4, 0}));
   bus_master a(master_cfg(1, "a", 0), read_stream(0, 8, 32));
   bus_master b(master_cfg(1, "b", 0), read_stream(0, 8, 32));
-  arb.add_master(a);
-  EXPECT_THROW(arb.add_master(b), std::invalid_argument);
+  ic.add_master(a);
+  EXPECT_THROW(ic.add_master(b), std::invalid_argument);
   // The reserved sentinel can never become a real master on the bus.
   bus_master forged(master_cfg(any_master, "forged", 0), read_stream(0, 8, 32));
-  EXPECT_THROW(arb.add_master(forged), std::invalid_argument);
+  EXPECT_THROW(ic.add_master(forged), std::invalid_argument);
 }
 
 TEST(Arbiter, RoundRobinSharesGrantsAndBoundsWaiting) {
   fixed_latency_port port(1 << 16, 10);
-  bus_arbiter arb(port, {arb_policy::round_robin, 4, 0});
+  interconnect ic(port, topology({arb_policy::round_robin, 4, 0}));
   bus_master a(master_cfg(0, "a", 0), read_stream(0, 32, 32));
   bus_master b(master_cfg(1, "b", 0), read_stream(8192, 32, 32));
   bus_master c(master_cfg(2, "c", 0), read_stream(16384, 32, 32));
-  arb.add_master(a);
-  arb.add_master(b);
-  arb.add_master(c);
+  ic.add_master(a);
+  ic.add_master(b);
+  ic.add_master(c);
 
-  const arbiter_stats st = arb.run();
+  const arbiter_stats st = ic.run().bus;
   ASSERT_EQ(st.masters.size(), 3u);
   EXPECT_EQ(st.rounds, 3 * 32u / 4);
   EXPECT_EQ(st.txns, 3 * 32u);
@@ -174,13 +178,13 @@ TEST(Arbiter, RoundRobinSharesGrantsAndBoundsWaiting) {
 
 TEST(Arbiter, FixedPriorityServesHighFirstAndStarvesLow) {
   fixed_latency_port port(1 << 16, 10);
-  bus_arbiter arb(port, {arb_policy::fixed_priority, 4, 0});
+  interconnect ic(port, topology({arb_policy::fixed_priority, 4, 0}));
   bus_master low(master_cfg(0, "low", 1), read_stream(0, 16, 32));
   bus_master high(master_cfg(1, "high", 9), read_stream(8192, 32, 32));
-  arb.add_master(low);
-  arb.add_master(high);
+  ic.add_master(low);
+  ic.add_master(high);
 
-  const arbiter_stats st = arb.run();
+  const arbiter_stats st = ic.run().bus;
   const master_stats& lo = st.masters[0];
   const master_stats& hi = st.masters[1];
   // Strict priority: high drains completely before low's first grant.
@@ -192,13 +196,14 @@ TEST(Arbiter, FixedPriorityServesHighFirstAndStarvesLow) {
 
 TEST(Arbiter, StarvationLimitBoundsFixedPriorityWaiting) {
   fixed_latency_port port(1 << 16, 10);
-  bus_arbiter arb(port, {arb_policy::fixed_priority, 4, /*starvation_limit=*/2});
+  interconnect ic(port,
+                  topology({arb_policy::fixed_priority, 4, /*starvation_limit=*/2}));
   bus_master low(master_cfg(0, "low", 1), read_stream(0, 32, 32));
   bus_master high(master_cfg(1, "high", 9), read_stream(8192, 32, 32));
-  arb.add_master(low);
-  arb.add_master(high);
+  ic.add_master(low);
+  ic.add_master(high);
 
-  const arbiter_stats st = arb.run();
+  const arbiter_stats st = ic.run().bus;
   EXPECT_LE(st.masters[0].max_wait_streak, 2u)
       << "aging must grant a master once it hits the starvation limit";
   // High priority still dominates overall.
@@ -207,14 +212,14 @@ TEST(Arbiter, StarvationLimitBoundsFixedPriorityWaiting) {
 
 TEST(Arbiter, GrantHookSeesEveryWindowThenRestoresCpu) {
   fixed_latency_port port(1 << 16, 10);
-  bus_arbiter arb(port, {arb_policy::round_robin, 4, 0});
+  interconnect ic(port, topology({arb_policy::round_robin, 4, 0}));
   bus_master a(master_cfg(3, "a", 0), read_stream(0, 8, 32));
   bus_master b(master_cfg(7, "b", 0), read_stream(8192, 8, 32));
-  arb.add_master(a);
-  arb.add_master(b);
+  ic.add_master(a);
+  ic.add_master(b);
   std::vector<master_id> grants;
-  arb.set_grant_hook([&](master_id m) { grants.push_back(m); });
-  const arbiter_stats st = arb.run();
+  ic.set_grant_hook([&](master_id m) { grants.push_back(m); });
+  const arbiter_stats st = ic.run().bus;
   ASSERT_EQ(grants.size(), st.rounds + 1);
   EXPECT_EQ(grants.back(), cpu_master) << "hook must restore the idle default";
   EXPECT_EQ(grants[0], 3u);
@@ -223,16 +228,54 @@ TEST(Arbiter, GrantHookSeesEveryWindowThenRestoresCpu) {
 
 TEST(Arbiter, CompletionStampsAreMonotonePerMaster) {
   fixed_latency_port port(1 << 16, 10);
-  bus_arbiter arb(port, {arb_policy::round_robin, 4, 0});
+  interconnect ic(port, topology({arb_policy::round_robin, 4, 0}));
   bus_master a(master_cfg(0, "a", 0), read_stream(0, 12, 32));
-  arb.add_master(a);
-  const arbiter_stats st = arb.run();
+  ic.add_master(a);
+  const arbiter_stats st = ic.run().bus;
   // Single master: every txn completes by the end; the mean absolute
   // latency is below the total and above the first window's makespan.
   EXPECT_LE(st.masters[0].finish_cycle, st.total_cycles);
   EXPECT_GT(st.masters[0].avg_txn_latency(), 0.0);
   EXPECT_LT(st.masters[0].avg_txn_latency(),
             static_cast<double>(st.total_cycles));
+}
+
+TEST(Arbiter, DeprecatedConstructorIsABitExactShim) {
+  // The one deliberate direct use of the deprecated flat API: bus_arbiter
+  // must take the identical grant sequence as the topology it desugars to.
+  const auto run_flat = [&](bool deprecated_api) {
+    fixed_latency_port port(1 << 16, 10);
+    bus_master a(master_cfg(0, "a", 2), read_stream(0, 32, 32));
+    bus_master b(master_cfg(1, "b", 9), read_stream(8192, 16, 32));
+    bus_master c(master_cfg(2, "c", 1), read_stream(16384, 48, 32));
+    const arbiter_config cfg{arb_policy::fixed_priority, 4, 3};
+    if (deprecated_api) {
+      bus_arbiter arb(port, cfg);
+      arb.add_master(a);
+      arb.add_master(b);
+      arb.add_master(c);
+      return arb.run();
+    }
+    interconnect ic(port, topology(cfg));
+    ic.add_master(a);
+    ic.add_master(b);
+    ic.add_master(c);
+    return ic.run().bus;
+  };
+  const arbiter_stats shim = run_flat(true);
+  const arbiter_stats topo = run_flat(false);
+  ASSERT_EQ(shim.masters.size(), topo.masters.size());
+  EXPECT_EQ(shim.rounds, topo.rounds);
+  EXPECT_EQ(shim.txns, topo.txns);
+  EXPECT_EQ(shim.bytes, topo.bytes);
+  EXPECT_EQ(shim.total_cycles, topo.total_cycles);
+  for (std::size_t i = 0; i < shim.masters.size(); ++i) {
+    EXPECT_EQ(shim.masters[i].grants, topo.masters[i].grants);
+    EXPECT_EQ(shim.masters[i].finish_cycle, topo.masters[i].finish_cycle);
+    EXPECT_EQ(shim.masters[i].latency_sum, topo.masters[i].latency_sum);
+    EXPECT_EQ(shim.masters[i].wait_rounds, topo.masters[i].wait_rounds);
+    EXPECT_EQ(shim.masters[i].max_wait_streak, topo.masters[i].max_wait_streak);
+  }
 }
 
 // --- per-master protection domains in the keyslot engine ---------------------
