@@ -10,9 +10,32 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace buscrypt::bench {
+
+/// Unified `--seed N` handling for every tab*/fig* main. Scans argv for
+/// `--seed N` (decimal/hex per strtoull base 0), removes the pair so the
+/// bench's own parser never sees it, and returns N (or \p def when the
+/// flag is absent). Benches derive every internal seed from the returned
+/// value such that the default reproduces the committed BENCH_*.json
+/// byte-identically.
+inline u64 seed_arg(int& argc, char** argv, u64 def = 0) {
+  u64 seed = def;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<u64>(std::strtoull(argv[++i], nullptr, 0));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return seed;
+}
 
 /// Synthetic firmware image: word-aligned with the distribution real
 /// instruction streams show — a heavily skewed opcode (high) half and

@@ -58,7 +58,7 @@ cli parse(int argc, char** argv) {
       c.auth_cells = false;
     else {
       std::fprintf(stderr,
-                   "usage: tab10_fleet [--threads N] [--accesses N] [--seeds K]"
+                   "usage: tab10_fleet [--seed N] [--threads N] [--accesses N] [--seeds K]"
                    " [--no-auth] [--json FILE]\n");
       std::exit(2);
     }
@@ -70,13 +70,14 @@ cli parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace buscrypt;
+  const u64 base_seed = bench::seed_arg(argc, argv, 0x5EC5EEDULL);
   const cli opt = parse(argc, argv);
   bench::banner("Tab. 10 — many-SoC fleet: parallel scenario matrix",
                 "horizontal scale over the whole survey (tab1/tab7 matrices)");
 
   // The cell matrix: every engine (auth none), plus the keyslot engine
   // under each authentication scheme, replicated across --seeds seeds.
-  constexpr u64 kSeed = 0x5EC5EEDULL;
+  const u64 kSeed = base_seed;
   std::vector<fleet::fleet_cell> base = fleet::engine_matrix(opt.accesses, kSeed);
   if (opt.auth_cells) {
     for (const engine::auth_mode m : {engine::auth_mode::mac, engine::auth_mode::area,

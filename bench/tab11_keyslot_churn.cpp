@@ -70,7 +70,7 @@ cli parse(int argc, char** argv) {
       c.one_policy = true;
     } else {
       std::fprintf(stderr,
-                   "usage: tab11_keyslot_churn [--threads N] [--contexts N]"
+                   "usage: tab11_keyslot_churn [--seed N] [--threads N] [--contexts N]"
                    " [--ops N] [--json FILE] [--policy NAME]\n");
       std::exit(2);
     }
@@ -82,11 +82,12 @@ cli parse(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace buscrypt;
+  const u64 base_seed = bench::seed_arg(argc, argv, 0x5EC5EEDULL);
   const cli opt = parse(argc, argv);
   bench::banner("Tab. 11 — keyslot churn: Zipf context storms vs eviction policy",
                 "pool behaviour when contexts outnumber slots 1000:1 (blk-crypto)");
 
-  constexpr u64 kSeed = 0x5EC5EEDULL;
+  const u64 kSeed = base_seed;
 
   // The grid: policy x pool {4, 16} x skew {0.8, 1.2}. in_flight == 4
   // means the small pool saturates (misses pin out and fall back) while

@@ -46,6 +46,9 @@
 
 namespace {
 
+// Base seed from --seed (bench::seed_arg); 0 reproduces the committed JSON.
+buscrypt::u64 g_seed = 0;
+
 using namespace buscrypt;
 
 struct cli {
@@ -75,7 +78,7 @@ cli parse(int argc, char** argv) {
       c.json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: tab12_interconnect [--policy <name>] [--threads N]"
+                   "usage: tab12_interconnect [--seed N] [--policy <name>] [--threads N]"
                    " [--json FILE]\n");
       std::exit(2);
     }
@@ -163,7 +166,7 @@ containment_result run_containment() {
 
   edu::soc_config cfg = bench::multimaster_soc();
   edu::secure_soc soc(edu::engine_kind::inline_keyslot, cfg);
-  soc.load_image(0, bench::firmware_image(64 * 1024, 0x5EED));
+  soc.load_image(0, bench::firmware_image(64 * 1024, g_seed ^ 0x5EED));
   bytes secret(kSecretLen);
   for (std::size_t i = 0; i < secret.size(); ++i)
     secret[i] = static_cast<u8>(0xA5 ^ i);
@@ -321,6 +324,7 @@ containment_result run_containment() {
 } // namespace
 
 int main(int argc, char** argv) {
+  g_seed = bench::seed_arg(argc, argv);
   const cli opt = parse(argc, argv);
   bench::banner("Tab. 12 — topology-first interconnect: hierarchy, QoS, firewalls",
                 "clustered arbitration at scale; Cotret-style rule tables on the bus");
@@ -329,7 +333,7 @@ int main(int argc, char** argv) {
   unsigned long long total_txns = 0;
 
   // --- 1. compat: shim vs explicit topology, bit for bit --------------------
-  const bytes image = bench::firmware_image(64 * 1024, 0x5EED);
+  const bytes image = bench::firmware_image(64 * 1024, g_seed ^ 0x5EED);
   std::vector<compat_row> compat;
   bool compat_ok = true;
   for (const edu::engine_kind kind : edu::all_engines()) {

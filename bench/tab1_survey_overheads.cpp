@@ -21,13 +21,14 @@ using edu::engine_kind;
 } // namespace
 } // namespace buscrypt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace buscrypt;
+  const u64 seed = bench::seed_arg(argc, argv);
   bench::banner("Survey overhead table: all engines x standard suite",
                 "Section 3 quantitative claims (see EXPERIMENTS.md T1)");
 
-  const bytes img = bench::firmware_image(1 << 20, 71);
-  const auto suite = sim::standard_suite(2005);
+  const bytes img = bench::firmware_image(1 << 20, seed ^ 71);
+  const auto suite = sim::standard_suite(seed ^ 2005);
 
   // Column per workload, row per engine.
   std::vector<std::string> headers = {"engine"};

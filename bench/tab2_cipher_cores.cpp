@@ -18,9 +18,12 @@
 namespace buscrypt {
 namespace {
 
+// Base seed from --seed (bench::seed_arg); 0 reproduces the committed runs.
+u64 g_seed = 0;
+
 template <typename Cipher>
 void block_throughput(benchmark::State& state, const Cipher& c) {
-  rng r(1);
+  rng r(g_seed ^ 1);
   bytes buf = r.random_bytes(64 * 1024);
   for (auto _ : state) {
     crypto::ecb_encrypt(c, buf, buf);
@@ -87,7 +90,7 @@ void print_des_tier_table() {
   bench::banner("DES datapath tiers (host MB/s, 64 KiB ECB runs)",
                 "reference = per-bit FIPS 46-3 oracle; table = scalar fused\n"
                 "SP-boxes; bitsliced = wide lane groups (des_crypt_wide)");
-  rng r(3);
+  rng r(g_seed ^ 3);
   const bytes key8 = r.random_bytes(8);
   const bytes key24 = r.random_bytes(24);
   const des des_fast(key8);
@@ -143,12 +146,13 @@ void print_des_tier_table() {
 
 int main(int argc, char** argv) {
   using namespace buscrypt;
+  g_seed = bench::seed_arg(argc, argv);
   print_hw_model_table();
   print_des_tier_table();
 
   bench::banner("Software cipher throughput (functional models)",
                 "T2 right half — google-benchmark");
-  rng r(2);
+  rng r(g_seed ^ 2);
   static const crypto::aes aes128(r.random_bytes(16));
   static const crypto::aes aes256(r.random_bytes(32));
   static const crypto::des des_c(r.random_bytes(8));

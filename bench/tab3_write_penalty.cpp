@@ -27,9 +27,10 @@ sim::run_stats run_with_policy(engine_kind kind, const sim::workload& w,
 } // namespace
 } // namespace buscrypt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace buscrypt;
-  const bytes img = bench::firmware_image(128 * 1024, 81);
+  const u64 seed = bench::seed_arg(argc, argv);
+  const bytes img = bench::firmware_image(128 * 1024, seed ^ 81);
 
   bench::banner("Sub-block write penalty vs store size (write-through L1)",
                 "Section 2.2 five-step write sequence");

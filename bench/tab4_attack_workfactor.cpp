@@ -16,10 +16,10 @@
 namespace buscrypt {
 namespace {
 
-void brute_force_empirical() {
+void brute_force_empirical(u64 seed) {
   bench::banner("Empirical brute force on reduced DES keyspace",
                 "Section 1: 'trying all possible keys'");
-  rng r(4);
+  rng r(seed ^ 4);
   table t({"unknown key bits", "keys tried", "wall time (ms)", "keys/s"});
   for (unsigned bits : {8u, 12u, 16u, 18u}) {
     bytes true_key = r.random_bytes(8);
@@ -67,11 +67,11 @@ void lifetime_model() {
   std::fputs(t.str().c_str(), stdout);
 }
 
-void birthday_attack() {
+void birthday_attack(u64 seed) {
   bench::banner("Birthday attack on CBC IV nonces: random vector vs counter",
                 "Section 3 (AEGIS): 'to thwart the birthday attack it is\n"
                 "possible to replace the random vector by a counter'");
-  rng r(5);
+  rng r(seed ^ 5);
   table t({"nonce bits", "measured draws to collision (MC mean)",
            "analytic sqrt(pi/2*2^b)", "counter collides at"});
   for (unsigned bits : {16u, 20u, 24u, 28u}) {
@@ -86,10 +86,10 @@ void birthday_attack() {
               "of uptime; a 32-bit counter holds to 4.3e9 writes.)\n");
 }
 
-void ecb_exposure() {
+void ecb_exposure(u64 seed) {
   bench::banner("ECB structural leakage on memory images",
                 "Section 2.2: 'a same data will be ciphered to the same value'");
-  rng r(6);
+  rng r(seed ^ 6);
   const crypto::aes c(r.random_bytes(16));
   table t({"image", "blocks", "repeated ct blocks", "exposure"});
 
@@ -102,7 +102,7 @@ void ecb_exposure() {
                table::pct(leak.exposure())});
   };
   row("zero-filled 256 KiB", bytes(256 * 1024, 0));
-  row("firmware-like 256 KiB", bench::firmware_image(256 * 1024, 7));
+  row("firmware-like 256 KiB", bench::firmware_image(256 * 1024, seed ^ 7));
   row("random 256 KiB", r.random_bytes(256 * 1024));
   std::fputs(t.str().c_str(), stdout);
   return;
@@ -111,10 +111,11 @@ void ecb_exposure() {
 } // namespace
 } // namespace buscrypt
 
-int main() {
-  buscrypt::brute_force_empirical();
+int main(int argc, char** argv) {
+  const buscrypt::u64 seed = buscrypt::bench::seed_arg(argc, argv);
+  buscrypt::brute_force_empirical(seed);
   buscrypt::lifetime_model();
-  buscrypt::birthday_attack();
-  buscrypt::ecb_exposure();
+  buscrypt::birthday_attack(seed);
+  buscrypt::ecb_exposure(seed);
   return 0;
 }

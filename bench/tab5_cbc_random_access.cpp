@@ -13,9 +13,10 @@ using edu::engine_kind;
 } // namespace
 } // namespace buscrypt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace buscrypt;
-  const bytes img = bench::firmware_image(512 * 1024, 91);
+  const u64 seed = bench::seed_arg(argc, argv);
+  const bytes img = bench::firmware_image(512 * 1024, seed ^ 91);
 
   bench::banner("Random access (JUMP) cost by chaining granularity",
                 "Section 2.2 'random data access problem (JUMP instructions)'\n"

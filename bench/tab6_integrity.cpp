@@ -30,7 +30,7 @@ const char* level_name(integrity_level l) {
   return "?";
 }
 
-void detection_matrix() {
+void detection_matrix(u64 seed) {
   bench::banner("Active-attack detection matrix",
                 "Conclusion: 'thwart attacks based on the modification of the\n"
                 "fetched instructions'");
@@ -39,7 +39,7 @@ void detection_matrix() {
        {integrity_level::none, integrity_level::mac, integrity_level::mac_versioned}) {
     sim::dram chip(8u << 20);
     sim::external_memory ext(chip);
-    rng r(42);
+    rng r(seed ^ 42);
     const crypto::aes prf(r.random_bytes(16));
     integrity_edu_config cfg;
     cfg.level = level;
@@ -53,11 +53,11 @@ void detection_matrix() {
   std::fputs(t.str().c_str(), stdout);
 }
 
-void cost_table() {
+void cost_table(u64 seed) {
   bench::banner("Cost of integrity by level",
                 "T6 cost half: cycles, bus traffic, tag memory, on-chip RAM");
 
-  const bytes img = bench::firmware_image(256 * 1024, 7);
+  const bytes img = bench::firmware_image(256 * 1024, seed ^ 7);
   struct wl {
     const char* name;
     sim::workload w;
@@ -77,7 +77,7 @@ void cost_table() {
          {integrity_level::none, integrity_level::mac, integrity_level::mac_versioned}) {
       sim::dram chip(8u << 20);
       sim::external_memory ext(chip);
-      rng r(9);
+      rng r(seed ^ 9);
       const crypto::aes prf(r.random_bytes(16));
       integrity_edu_config cfg;
       cfg.level = level;
@@ -102,12 +102,12 @@ void cost_table() {
   }
 }
 
-void pad_reuse_demo() {
+void pad_reuse_demo(u64 seed) {
   bench::banner("Why versions also protect confidentiality (two-time pad)",
                 "AEGIS IV freshness discussion, Section 3");
   sim::dram chip(8u << 20);
   sim::external_memory ext(chip);
-  rng r(11);
+  rng r(seed ^ 11);
   const crypto::aes prf(r.random_bytes(16));
 
   table t({"pad scheme", "rewrite same line twice", "ct1 ^ ct2 reveals"});
@@ -149,9 +149,10 @@ void pad_reuse_demo() {
 } // namespace
 } // namespace buscrypt
 
-int main() {
-  buscrypt::detection_matrix();
-  buscrypt::cost_table();
-  buscrypt::pad_reuse_demo();
+int main(int argc, char** argv) {
+  const buscrypt::u64 seed = buscrypt::bench::seed_arg(argc, argv);
+  buscrypt::detection_matrix(seed);
+  buscrypt::cost_table(seed);
+  buscrypt::pad_reuse_demo(seed);
   return 0;
 }

@@ -50,19 +50,20 @@ struct engine_result {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace buscrypt;
+  const u64 seed = bench::seed_arg(argc, argv);
   bench::banner("Tab. 7 — sustained throughput, scalar vs batched transactions",
                 "Fig. 2a overlap / XOM pipelined AES, as requests-per-cycle");
 
   // Heavy mixed traffic: branchy fetch over many DRAM rows plus a streaming
   // store component, so both banks and write paths stay busy.
-  sim::workload w = sim::make_jumpy_code(30'000, 256 * 1024, 0.15, 0x7AB7);
-  sim::workload s = sim::make_streaming(8'000, 256 * 1024, 4, 0x7AB8);
+  sim::workload w = sim::make_jumpy_code(30'000, 256 * 1024, 0.15, seed ^ 0x7AB7);
+  sim::workload s = sim::make_streaming(8'000, 256 * 1024, 4, seed ^ 0x7AB8);
   w.accesses.insert(w.accesses.end(), s.accesses.begin(), s.accesses.end());
   w.name = "mixed-heavy";
 
-  const bytes image = bench::firmware_image(256 * 1024, 0x5EED);
+  const bytes image = bench::firmware_image(256 * 1024, seed ^ 0x5EED);
 
   std::vector<engine_result> results;
   for (edu::engine_kind kind : edu::all_engines()) {

@@ -48,6 +48,7 @@ struct engine_result {
 
 int main(int argc, char** argv) {
   using namespace buscrypt;
+  const u64 seed = bench::seed_arg(argc, argv);
   bench::banner("Tab. 8 — multi-master bus: aggregate throughput and per-master latency",
                 "Fig. 4 secure DMA as a first-class master; arbitration policies");
 
@@ -68,12 +69,12 @@ int main(int argc, char** argv) {
       }
       policies.assign(1, p);
     } else {
-      std::fprintf(stderr, "usage: %s [--policy <name>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seed N] [--policy <name>]\n", argv[0]);
       return 2;
     }
   }
 
-  const bytes image = bench::firmware_image(64 * 1024, 0x5EED);
+  const bytes image = bench::firmware_image(64 * 1024, seed ^ 0x5EED);
 
   const bench::host_timer wall;
   unsigned long long total_txns = 0;

@@ -15,6 +15,8 @@
 #include "engine/bus_encryption_engine.hpp"
 #include "sim/dram.hpp"
 
+#include <string>
+
 namespace buscrypt::attack {
 
 /// Which tampers the engine caught.
@@ -53,5 +55,36 @@ struct engine_tamper_report {
 [[nodiscard]] engine_tamper_report
 run_engine_tamper_suite(engine::bus_encryption_engine& target, sim::dram& chip,
                         addr_t line_a, addr_t line_b);
+
+/// The update-lifecycle replay classes (ISSUE: the IEEE-1735 lesson — the
+/// *protocol*, not the cipher, is what attackers break). Each replay is
+/// driven against a fresh crash-safe update_agent rig under \p mode/\p
+/// backend and must end with the attack *detected*: the device refuses the
+/// attacker's outcome and still boots an exact, authorised image.
+///
+///   downgrade          — replay a stale (older-version) signed package;
+///   partial-flash      — cut power mid-install, then try to boot what the
+///                        attacker hopes is a half-programmed slot;
+///   interrupted-update — cut power mid-update, flip staged-image bits
+///                        while the device is dark, re-offer the package;
+///   journal-tamper     — rewrite a journal record while the device is
+///                        dark, then let recovery run.
+struct update_tamper_report {
+  bool downgrade_detected = false;          ///< stale version fail-stopped
+  bool partial_flash_detected = false;      ///< no half-programmed boot
+  bool interrupted_update_detected = false; ///< planted flips never committed
+  bool journal_tamper_detected = false;     ///< MAC chain break fail-stopped
+  [[nodiscard]] bool all_detected() const noexcept {
+    return downgrade_detected && partial_flash_detected &&
+           interrupted_update_detected && journal_tamper_detected;
+  }
+};
+
+/// Run the four update replays on a self-contained rig (engine + fault
+/// injector + update_agent). Deterministic in (\p mode, \p backend, \p
+/// seed). \p backend must be auth-compatible (AREA needs a block mode).
+[[nodiscard]] update_tamper_report
+run_update_tamper_suite(engine::auth_mode mode, const std::string& backend,
+                        u64 seed);
 
 } // namespace buscrypt::attack

@@ -487,6 +487,7 @@ memory_authenticator::update_unit(addr_t unit_addr, std::span<const u8> ct,
 
 memory_authenticator::staged_verify
 memory_authenticator::batch_prepare_verify(addr_t unit_addr) {
+  batch_open_ = true;
   staged_verify sv;
   sv.unit_addr = unit_addr;
   sv.version = version_of(unit_addr);
@@ -548,6 +549,7 @@ memory_authenticator::batch_finish_verify(const staged_verify& sv,
 memory_authenticator::staged_update
 memory_authenticator::batch_stage_update(addr_t unit_addr, std::span<const u8> ct,
                                          bool charge) {
+  batch_open_ = true;
   ++stats_.updates;
   staged_update su;
   const u64 version = ++versions_[unit_addr];
@@ -573,6 +575,13 @@ memory_authenticator::batch_stage_update(addr_t unit_addr, std::span<const u8> c
 // --- lifecycle ------------------------------------------------------------------
 
 void memory_authenticator::seal_from_memory() {
+  // Precondition: no open batch window. A reseal here would recompute tags
+  // from DRAM while staged tag writes are still riding the in-flight lower
+  // batch — the flush would then land stale tags over the fresh seal,
+  // silent corruption that only surfaces as spurious faults much later.
+  if (batch_open_)
+    throw std::logic_error("memory_authenticator: seal_from_memory() during an "
+                           "open batch flush window");
   if (cfg_.mode == auth_mode::area) return; // the engine seals, it owns the cipher
   drop_caches(); // stale trusted digests must not outlive a reseal
   bytes ct(unit_);

@@ -198,7 +198,14 @@ class memory_authenticator {
 
   /// End of one submit() flush window: staged-tag forwarding state is
   /// retired (everything is in DRAM and the cache by now).
-  void batch_flush_done() noexcept { staged_tags_.clear(); }
+  void batch_flush_done() noexcept {
+    staged_tags_.clear();
+    batch_open_ = false;
+  }
+
+  /// True between the first staged batch operation and batch_flush_done()
+  /// — the window in which a reseal would race the in-flight tag traffic.
+  [[nodiscard]] bool batch_open() const noexcept { return batch_open_; }
 
   /// Stage a (batched) write: bump the version, compute the new tag, update
   /// the cache write-through. The engine appends the returned tag bytes as
@@ -324,6 +331,9 @@ class memory_authenticator {
   /// tag-line fetch ordered before the staged write must not install a
   /// stale line over them.
   std::unordered_map<addr_t, bytes> staged_tags_;
+  /// An engine submit() flush is staging against this authenticator; a
+  /// reseal inside the window would clobber in-flight tag state.
+  bool batch_open_ = false;
 
   // hash_tree state.
   std::vector<u64> level_sizes_;    ///< nodes per stored level, leaves first

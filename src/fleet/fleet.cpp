@@ -124,6 +124,12 @@ std::string fleet_cell::label() const {
     if (noc_qos) name += "+qos";
     if (noc_firewall) name += "+fw";
   }
+  if (drive == drive_mode::lifetime) {
+    name += ":" + std::string(sim::fault_point_name(inject));
+    if (inject != sim::fault_point::none)
+      name += "@" + std::to_string(inject_trigger);
+    if (!offer_package) name += "+noresume";
+  }
   char seed_hex[32];
   std::snprintf(seed_hex, sizeof seed_hex, " s%llx",
                 static_cast<unsigned long long>(seed));
@@ -138,7 +144,10 @@ bool cell_result::sim_equal(const cell_result& o) const noexcept {
          edu.batches == o.edu.batches && edu.batched_txns == o.edu.batched_txns &&
          integrity_faults == o.integrity_faults && domain_faults == o.domain_faults &&
          firewall_denials == o.firewall_denials && fallbacks == o.fallbacks &&
-         dram_fnv == o.dram_fnv;
+         updates_committed == o.updates_committed &&
+         updates_rolled_back == o.updates_rolled_back &&
+         torn_images == o.torn_images &&
+         downgrade_breaches == o.downgrade_breaches && dram_fnv == o.dram_fnv;
 }
 
 u64 fnv1a(std::span<const u8> data) noexcept {
@@ -231,6 +240,39 @@ sim::topology noc_topology(const fleet_cell& cell) {
 cell_result run_cell(const fleet_cell& cell) {
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Lifetime cells run the whole-device update episode — no SoC workload
+  // drive; the episode owns its engine, fault injector and agent.
+  if (cell.drive == drive_mode::lifetime) {
+    update::lifetime_config lc;
+    lc.seed = cell.seed;
+    lc.auth = cell.auth;
+    lc.backend = cell.backend.empty()
+                     ? (cell.auth == engine::auth_mode::area ? "aes-ecb" : "aes-ctr")
+                     : cell.backend;
+    lc.inject = cell.inject;
+    lc.trigger = cell.inject_trigger;
+    lc.stalls = cell.inject == sim::fault_point::bus_stall
+                    ? static_cast<unsigned>(cell.inject_trigger)
+                    : 0;
+    lc.offer_package = cell.offer_package;
+    const update::lifetime_result lr = update::run_lifetime(lc);
+
+    cell_result r;
+    r.label = cell.label();
+    r.ops = lr.beats;
+    r.bytes = lc.image_bytes;
+    r.total_cycles = lr.traffic_cycles + lr.update_cycles;
+    r.updates_committed = lr.committed_new ? 1 : 0;
+    r.updates_rolled_back = !lr.committed_new && lr.old_intact ? 1 : 0;
+    r.torn_images = lr.torn ? 1 : 0;
+    r.downgrade_breaches = lr.downgrade_blocked ? 0 : 1;
+    r.dram_fnv = lr.dram_fingerprint;
+    r.host_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    return r;
+  }
+
   edu::secure_soc soc(cell.kind, cell_soc(cell));
   soc.load_image(0, cell_image(cell));
   const sim::workload w = cell_workload(cell);
@@ -262,6 +304,8 @@ cell_result run_cell(const fleet_cell& cell) {
       r.total_cycles = ts.noc.bus.total_cycles;
       break;
     }
+    case drive_mode::lifetime:
+      break; // handled above — never reaches the SoC drive
   }
   soc.flush();
 
@@ -390,6 +434,51 @@ std::vector<fleet_cell> engine_auth_matrix(std::size_t accesses, u64 seed) {
   return cells;
 }
 
+std::vector<fleet_cell> lifetime_matrix(std::size_t runs, u64 seed) {
+  constexpr engine::auth_mode modes[] = {
+      engine::auth_mode::none, engine::auth_mode::mac, engine::auth_mode::area,
+      engine::auth_mode::hash_tree};
+  std::vector<fleet_cell> cells;
+  cells.reserve(std::size(sim::all_fault_points) * std::size(modes) * runs);
+  for (const sim::fault_point point : sim::all_fault_points) {
+    for (const engine::auth_mode mode : modes) {
+      for (std::size_t i = 0; i < runs; ++i) {
+        fleet_cell c;
+        c.kind = edu::engine_kind::inline_keyslot;
+        c.drive = drive_mode::lifetime;
+        c.auth = mode;
+        if (mode == engine::auth_mode::area) c.backend = "aes-ecb";
+        c.inject = point;
+        c.seed = seed + i;
+        // Trigger placement, stall depth and the recovery path are all
+        // seed-derived, so `runs` cells cut the protocol at `runs`
+        // different places — randomized interruptions, reproducibly.
+        rng r(c.seed ^ (static_cast<u64>(point) << 8) ^ static_cast<u64>(mode));
+        switch (point) {
+          case sim::fault_point::bus_beat:
+          case sim::fault_point::bit_flip:
+            c.inject_trigger = r.between(8, 6000);
+            break;
+          case sim::fault_point::flush:
+            c.inject_trigger = r.below(3);
+            break;
+          case sim::fault_point::journal:
+            c.inject_trigger = r.below(4);
+            break;
+          case sim::fault_point::bus_stall:
+            c.inject_trigger = r.between(1, 10); // stall depth
+            break;
+          case sim::fault_point::none:
+            break;
+        }
+        c.offer_package = r.chance(0.5);
+        cells.push_back(std::move(c));
+      }
+    }
+  }
+  return cells;
+}
+
 std::vector<fleet_cell> seed_sweep(fleet_cell proto, std::size_t n) {
   std::vector<fleet_cell> cells;
   cells.reserve(n);
@@ -446,6 +535,17 @@ std::string fleet_json(const fleet_config& cfg, const fleet_result& r,
         static_cast<unsigned long long>(cr.firewall_denials),
         static_cast<unsigned long long>(cr.fallbacks),
         static_cast<unsigned long long>(cr.dram_fnv));
+    // Lifetime-only fields, emitted only for lifetime cells so the
+    // committed BENCH_fleet.json stays byte-identical.
+    if (c.drive == drive_mode::lifetime)
+      add(", \"fault\": \"%s\", \"updates_committed\": %llu, "
+          "\"updates_rolled_back\": %llu, \"torn_images\": %llu, "
+          "\"downgrade_breaches\": %llu",
+          std::string(sim::fault_point_name(c.inject)).c_str(),
+          static_cast<unsigned long long>(cr.updates_committed),
+          static_cast<unsigned long long>(cr.updates_rolled_back),
+          static_cast<unsigned long long>(cr.torn_images),
+          static_cast<unsigned long long>(cr.downgrade_breaches));
     if (include_host) add(", \"host_ms\": %.1f", cr.host_ms);
     out += i + 1 == r.cells.size() ? "}\n" : "},\n";
   }

@@ -22,6 +22,8 @@
 #include "edu/soc.hpp"
 #include "engine/churn.hpp"
 #include "fleet/pool.hpp"
+#include "sim/fault_injector.hpp"
+#include "update/lifetime.hpp"
 
 #include <span>
 #include <string>
@@ -31,10 +33,11 @@ namespace buscrypt::fleet {
 
 /// How a cell drives its SoC.
 enum class drive_mode : u8 {
-  batched, ///< run_throughput with mem_txn batches (the tab7 fast path)
-  scalar,  ///< run_throughput one blocking request at a time
-  cpu,     ///< full CPU + L1 execution via secure_soc::run
-  noc,     ///< multi-master interconnect via secure_soc::run_topology
+  batched,  ///< run_throughput with mem_txn batches (the tab7 fast path)
+  scalar,   ///< run_throughput one blocking request at a time
+  cpu,      ///< full CPU + L1 execution via secure_soc::run
+  noc,      ///< multi-master interconnect via secure_soc::run_topology
+  lifetime, ///< whole-device episode: boot → update under fault → recover
 };
 
 [[nodiscard]] constexpr std::string_view drive_mode_name(drive_mode m) noexcept {
@@ -43,6 +46,7 @@ enum class drive_mode : u8 {
     case drive_mode::scalar: return "scalar";
     case drive_mode::cpu: return "cpu";
     case drive_mode::noc: return "noc";
+    case drive_mode::lifetime: return "lifetime";
   }
   return "?";
 }
@@ -94,6 +98,14 @@ struct fleet_cell {
   std::size_t noc_clusters = 0;
   bool noc_qos = false;      ///< role-derived QoS classes (dma bulk, periph latency)
   bool noc_firewall = false; ///< per-master whitelists over each slice
+  // lifetime drive only (every other drive ignores all three): the fault
+  // armed over the update leg. inject_trigger counts the point's native
+  // unit (bus beats / flush boundaries / journal records; stall count for
+  // bus_stall); offer_package picks the resume (true) or rollback (false)
+  // recovery path after a cut.
+  sim::fault_point inject = sim::fault_point::none;
+  u64 inject_trigger = 0;
+  bool offer_package = true;
 
   /// Display label, unique per distinct cell in the standard matrices:
   /// "<engine>[+auth][/backend][~policy][@slots]/<traffic>/<drive> s<seed>"
@@ -116,6 +128,11 @@ struct cell_result {
   u64 domain_faults = 0;    ///< keyslot engines only
   u64 firewall_denials = 0; ///< keyslot noc cells only (rule-table refusals)
   u64 fallbacks = 0;        ///< keyslot engines only
+  // lifetime cells only (zero elsewhere): crash-safety outcome counters.
+  u64 updates_committed = 0;   ///< device ended on the new image
+  u64 updates_rolled_back = 0; ///< device ended on the intact old image
+  u64 torn_images = 0;         ///< neither — must stay 0 fleet-wide
+  u64 downgrade_breaches = 0;  ///< stale-version probe accepted — must stay 0
   u64 dram_fnv = 0; ///< FNV-1a over the post-flush external memory image
   // Host speed (machine-dependent, excluded from equivalence).
   double host_ms = 0.0;
@@ -192,6 +209,13 @@ struct fleet_result {
 /// \p n copies of \p proto with seeds proto.seed, proto.seed+1, ... —
 /// the seed-sweep axis (distinct key material, workloads and images).
 [[nodiscard]] std::vector<fleet_cell> seed_sweep(fleet_cell proto, std::size_t n);
+
+/// Lifetime cells: every fault point x every auth scheme, \p runs
+/// seed-randomized interruptions per pair (trigger placement, stall depth
+/// and resume-vs-rollback path all derived from the cell seed). This is
+/// the matrix run_fleet uses to exercise thousands of update
+/// interruptions — the crash-safety analogue of engine_auth_matrix.
+[[nodiscard]] std::vector<fleet_cell> lifetime_matrix(std::size_t runs, u64 seed);
 
 // --- keyslot churn cells -----------------------------------------------------
 

@@ -1,0 +1,94 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace buscrypt::sim {
+
+bool parse_fault_point(std::string_view name, fault_point& out) noexcept {
+  for (const fault_point p : all_fault_points)
+    if (name == fault_point_name(p)) {
+      out = p;
+      return true;
+    }
+  return false;
+}
+
+void fault_injector::on_flush() {
+  ++flushes_;
+  if (armed_ && !fired_ && plan_.point == fault_point::flush &&
+      flushes_ > plan_.trigger) {
+    fired_ = true;
+    throw power_cut("flush");
+  }
+}
+
+void fault_injector::nvm_write(std::span<u8> dst, std::span<const u8> src) {
+  const std::size_t n = std::min(dst.size(), src.size());
+  ++journal_writes_;
+  if (armed_ && !fired_ && plan_.point == fault_point::journal &&
+      journal_writes_ > plan_.trigger) {
+    // A seeded prefix lands; the tail keeps whatever the NVM held before.
+    // The record's MAC can no longer check out, which is the whole point:
+    // recovery must disbelieve it, not half-trust it.
+    const std::size_t torn = n == 0 ? 0 : static_cast<std::size_t>(plan_.seed % n);
+    std::copy_n(src.begin(), torn, dst.begin());
+    fired_ = true;
+    throw power_cut("journal");
+  }
+  std::copy_n(src.begin(), n, dst.begin());
+}
+
+u64 fault_injector::cut_within(std::size_t len) noexcept {
+  const u64 nb = span_beats(len);
+  if (armed_ && !fired_ && plan_.point == fault_point::bus_beat &&
+      beats_ + nb > plan_.trigger) {
+    const u64 before = plan_.trigger > beats_ ? plan_.trigger - beats_ : 0;
+    beats_ = plan_.trigger;
+    return before;
+  }
+  beats_ += nb;
+  return ~0ull;
+}
+
+void fault_injector::maybe_flip() {
+  if (!armed_ || fired_ || plan_.point != fault_point::bit_flip) return;
+  if (beats_ <= plan_.trigger || plan_.blast_len == 0) return;
+  // One seeded bit inside the blast window, flipped directly on the chip
+  // (functional write, no charged time — the attacker is not a bus master).
+  const addr_t target =
+      plan_.blast_base + static_cast<addr_t>(plan_.seed % plan_.blast_len);
+  u8 b = 0;
+  (void)lower_->read(target, std::span<u8>(&b, 1));
+  b ^= static_cast<u8>(1u << ((plan_.seed >> 32) % 8));
+  (void)lower_->write(target, std::span<const u8>(&b, 1));
+  fired_ = true;
+}
+
+cycles fault_injector::read(addr_t addr, std::span<u8> out) {
+  const u64 before = cut_within(out.size());
+  if (before != ~0ull) {
+    // Power dies mid-fetch: nothing useful reaches the core.
+    fired_ = true;
+    throw power_cut("bus-beat");
+  }
+  const cycles t = lower_->read(addr, out);
+  maybe_flip();
+  return t;
+}
+
+cycles fault_injector::write(addr_t addr, std::span<const u8> in) {
+  const u64 before = cut_within(in.size());
+  if (before != ~0ull) {
+    // The beats already on the wire land; the rest never reach the chip.
+    const std::size_t landed = static_cast<std::size_t>(
+        std::min<u64>(before * k_beat_bytes, in.size()));
+    if (landed > 0) (void)lower_->write(addr, in.first(landed));
+    fired_ = true;
+    throw power_cut("bus-beat");
+  }
+  const cycles t = lower_->write(addr, in);
+  maybe_flip();
+  return t;
+}
+
+} // namespace buscrypt::sim

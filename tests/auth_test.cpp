@@ -597,5 +597,27 @@ TEST(AuthHashTree, OnChipStateIsOneRootPlusCaches) {
       << "stored nodes cover at least the leaves";
 }
 
+TEST(AuthSealGuard, SealDuringAnOpenBatchFlushWindowThrows) {
+  // Regression: seal_from_memory() mid-flush would recompute tags from a
+  // window whose staged tag writes are still in flight — the reseal must
+  // be refused until batch_flush_done() retires the window.
+  rig r("aes-ctr", auth_mode::mac);
+  (void)r.eng.write(0, bytes(32, 0x11));
+
+  (void)r.auth().batch_prepare_verify(0);
+  EXPECT_TRUE(r.auth().batch_open());
+  EXPECT_THROW(r.auth().seal_from_memory(), std::logic_error);
+
+  r.auth().batch_flush_done();
+  EXPECT_FALSE(r.auth().batch_open());
+  EXPECT_NO_THROW(r.auth().seal_from_memory());
+
+  // The write side opens the window too.
+  (void)r.auth().batch_stage_update(0, bytes(32, 0x22), true);
+  EXPECT_THROW(r.auth().seal_from_memory(), std::logic_error);
+  r.auth().batch_flush_done();
+  EXPECT_NO_THROW(r.auth().seal_from_memory());
+}
+
 } // namespace
 } // namespace buscrypt::engine

@@ -1,0 +1,207 @@
+// The fault injector: a pure pass-through unarmed, a deterministic
+// single-fire fault when armed — torn bus writes, flush/journal power
+// cuts, seeded staged-image bit flips, bounded bus stalls. These are the
+// primitives tab13's crash-safety claims quantify over, so their exact
+// semantics (what lands, what doesn't, when the cut fires) get pinned
+// here.
+
+#include "common/rng.hpp"
+#include "sim/bus.hpp"
+#include "sim/dram.hpp"
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace buscrypt {
+namespace {
+
+using sim::fault_injector;
+using sim::fault_plan;
+using sim::fault_point;
+using sim::power_cut;
+
+struct rig {
+  sim::dram chip{64u << 10};
+  sim::external_memory ext{chip};
+  fault_injector fi{ext};
+};
+
+TEST(FaultInject, UnarmedIsAPurePassThrough) {
+  rig a, b;
+  rng r(7);
+  const bytes data = r.random_bytes(200);
+  const cycles direct = a.ext.write(0x100, data);
+  const cycles through = b.fi.write(0x100, data);
+  EXPECT_EQ(direct, through);
+
+  bytes da(200), db(200);
+  const cycles rd = a.ext.read(0x100, da);
+  const cycles rf = b.fi.read(0x100, db);
+  EXPECT_EQ(rd, rf);
+  EXPECT_EQ(da, data);
+  EXPECT_EQ(db, data);
+  EXPECT_FALSE(b.fi.fired());
+}
+
+TEST(FaultInject, BeatsCountEightByteBusBeats) {
+  rig rg;
+  rg.fi.arm({}); // reset counters; point none = unarmed
+  const bytes data(64, 0xAB);
+  (void)rg.fi.write(0, data);            // 8 beats
+  bytes buf(20);
+  (void)rg.fi.read(0, buf);              // ceil(20/8) = 3 beats
+  (void)rg.fi.write(0x40, bytes(1, 1));  // 1 beat
+  EXPECT_EQ(rg.fi.beats(), 12u);
+}
+
+TEST(FaultInject, BusBeatCutTearsTheWritePrefix) {
+  rig rg;
+  rg.chip.write_bytes(0x200, bytes(64, 0xEE)); // prior contents
+  fault_plan p;
+  p.point = fault_point::bus_beat;
+  p.trigger = 3; // cut after 3 beats = 24 bytes of the burst
+  rg.fi.arm(p);
+
+  bytes data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<u8>(i);
+  EXPECT_THROW((void)rg.fi.write(0x200, data), power_cut);
+  EXPECT_TRUE(rg.fi.fired());
+
+  bytes now(64);
+  rg.chip.read_bytes(0x200, now);
+  for (std::size_t i = 0; i < 24; ++i) EXPECT_EQ(now[i], data[i]) << i;
+  for (std::size_t i = 24; i < 64; ++i) EXPECT_EQ(now[i], 0xEE) << i;
+}
+
+TEST(FaultInject, BusBeatCutOnReadDeliversNothing) {
+  rig rg;
+  rg.chip.write_bytes(0, bytes(32, 0x11));
+  fault_plan p;
+  p.point = fault_point::bus_beat;
+  p.trigger = 1;
+  rg.fi.arm(p);
+  bytes buf(32, 0x00);
+  EXPECT_THROW((void)rg.fi.read(0, buf), power_cut);
+  EXPECT_EQ(buf, bytes(32, 0x00)); // nothing reached the core
+}
+
+TEST(FaultInject, FiresAtMostOncePerArm) {
+  rig rg;
+  fault_plan p;
+  p.point = fault_point::bus_beat;
+  p.trigger = 0;
+  rg.fi.arm(p);
+  EXPECT_THROW((void)rg.fi.write(0, bytes(16, 1)), power_cut);
+  // After firing the path is a pass-through again until re-armed.
+  const bytes data(16, 2);
+  EXPECT_NO_THROW((void)rg.fi.write(0, data));
+  bytes back(16);
+  rg.chip.read_bytes(0, back);
+  EXPECT_EQ(back, data);
+}
+
+TEST(FaultInject, FlushCutFiresPastTheTriggerBoundary) {
+  rig rg;
+  fault_plan p;
+  p.point = fault_point::flush;
+  p.trigger = 2;
+  rg.fi.arm(p);
+  EXPECT_NO_THROW(rg.fi.on_flush()); // boundary 1
+  EXPECT_NO_THROW(rg.fi.on_flush()); // boundary 2
+  EXPECT_THROW(rg.fi.on_flush(), power_cut);
+  EXPECT_EQ(rg.fi.flushes(), 3u);
+}
+
+TEST(FaultInject, JournalCutLeavesASeededTornPrefix) {
+  rig rg;
+  fault_plan p;
+  p.point = fault_point::journal;
+  p.trigger = 1; // second record write tears
+  p.seed = 13;   // 13 % 40 = 13 bytes land
+  rg.fi.arm(p);
+
+  bytes cell(40, 0xFF);
+  const bytes rec_a(40, 0xA0), rec_b(40, 0xB0);
+  EXPECT_NO_THROW(rg.fi.nvm_write(cell, rec_a));
+  EXPECT_EQ(cell, rec_a); // first record lands whole
+
+  bytes cell2(40, 0xFF);
+  EXPECT_THROW(rg.fi.nvm_write(cell2, rec_b), power_cut);
+  for (std::size_t i = 0; i < 13; ++i) EXPECT_EQ(cell2[i], 0xB0) << i;
+  for (std::size_t i = 13; i < 40; ++i) EXPECT_EQ(cell2[i], 0xFF) << i;
+}
+
+TEST(FaultInject, BitFlipHitsOneSeededBitInTheBlastWindow) {
+  rig rg;
+  const bytes window(256, 0x00);
+  rg.chip.write_bytes(0x1000, window);
+
+  fault_plan p;
+  p.point = fault_point::bit_flip;
+  p.trigger = 0; // first beat past the trigger flips
+  p.seed = (u64{5} << 32) | 37; // byte 37, bit 5
+  p.blast_base = 0x1000;
+  p.blast_len = 256;
+  rg.fi.arm(p);
+
+  bytes buf(8);
+  EXPECT_NO_THROW((void)rg.fi.read(0x2000, buf)); // traffic passes the trigger
+  EXPECT_TRUE(rg.fi.fired());
+
+  bytes now(256);
+  rg.chip.read_bytes(0x1000, now);
+  for (std::size_t i = 0; i < 256; ++i)
+    EXPECT_EQ(now[i], i == 37 ? (1u << 5) : 0x00) << i;
+}
+
+TEST(FaultInject, StallsConsumeThenClear) {
+  rig rg;
+  fault_plan p;
+  p.point = fault_point::bus_stall;
+  p.stalls = 3;
+  rg.fi.arm(p);
+  EXPECT_TRUE(rg.fi.stall_pending());
+  EXPECT_TRUE(rg.fi.stall_pending());
+  EXPECT_FALSE(rg.fi.fired()); // still one stall outstanding
+  EXPECT_TRUE(rg.fi.stall_pending());
+  EXPECT_TRUE(rg.fi.fired());
+  EXPECT_FALSE(rg.fi.stall_pending());
+  EXPECT_FALSE(rg.fi.stall_pending());
+}
+
+TEST(FaultInject, SamePlanSameTrafficSameTear) {
+  const auto run = [](sim::dram& chip) {
+    sim::external_memory ext(chip);
+    fault_injector fi(ext);
+    fault_plan p;
+    p.point = fault_point::bus_beat;
+    p.trigger = 9;
+    fi.arm(p);
+    rng r(0x5EED);
+    try {
+      for (int i = 0; i < 32; ++i)
+        (void)fi.write(static_cast<addr_t>(i) * 64, r.random_bytes(48));
+    } catch (const power_cut&) {
+    }
+  };
+  sim::dram a(64u << 10), b(64u << 10);
+  run(a);
+  run(b);
+  EXPECT_TRUE(std::equal(a.raw().begin(), a.raw().end(), b.raw().begin()));
+}
+
+TEST(FaultInject, PointNamesRoundTrip) {
+  for (const fault_point p : sim::all_fault_points) {
+    fault_point out{};
+    EXPECT_TRUE(sim::parse_fault_point(sim::fault_point_name(p), out));
+    EXPECT_EQ(out, p);
+  }
+  fault_point out = fault_point::flush;
+  EXPECT_FALSE(sim::parse_fault_point("meteor-strike", out));
+  EXPECT_EQ(out, fault_point::flush);
+}
+
+} // namespace
+} // namespace buscrypt

@@ -357,5 +357,47 @@ TEST(FleetSweep, AllEnginesAllAuthFleetVsSolo) {
   EXPECT_EQ(fleet_run.pool.executed, solo.size());
 }
 
+// --- lifetime cells: whole-device update episodes on the pool ----------------
+
+TEST(FleetLifetime, MatrixCellsAreSafeAcrossThreadsAndOrders) {
+  fleet_config cfg;
+  cfg.cells = fleet::lifetime_matrix(2, 0x13F1EE7ULL);
+  ASSERT_EQ(cfg.cells.size(), std::size(sim::all_fault_points) * 4 * 2);
+
+  cfg.threads = 1;
+  cfg.shuffle = false;
+  const fleet_result serial = fleet::run_fleet(cfg);
+
+  cfg.threads = 8;
+  cfg.shuffle = true;
+  cfg.shuffle_seed = 0xDEF7ULL;
+  const fleet_result pooled = fleet::run_fleet(cfg);
+
+  for (std::size_t i = 0; i < cfg.cells.size(); ++i) {
+    EXPECT_TRUE(pooled.cells[i].sim_equal(serial.cells[i]))
+        << serial.cells[i].label;
+    // The crash-safety invariant, cell by cell: ended on exactly one of
+    // the two images, stale-version probe refused.
+    EXPECT_EQ(serial.cells[i].torn_images, 0u) << serial.cells[i].label;
+    EXPECT_EQ(serial.cells[i].downgrade_breaches, 0u) << serial.cells[i].label;
+    EXPECT_EQ(serial.cells[i].updates_committed + serial.cells[i].updates_rolled_back,
+              1u)
+        << serial.cells[i].label;
+  }
+}
+
+TEST(FleetLifetime, LabelsCarryTheFaultAxis) {
+  fleet_cell c;
+  c.drive = drive_mode::lifetime;
+  c.inject = sim::fault_point::bus_beat;
+  c.inject_trigger = 42;
+  c.offer_package = false;
+  const std::string l = c.label();
+  EXPECT_NE(l.find("lifetime"), std::string::npos) << l;
+  EXPECT_NE(l.find("bus-beat"), std::string::npos) << l;
+  EXPECT_NE(l.find("42"), std::string::npos) << l;
+  EXPECT_NE(l.find("noresume"), std::string::npos) << l;
+}
+
 } // namespace
 } // namespace buscrypt

@@ -1,0 +1,185 @@
+// Power-cycle recovery invariants for authenticated memory: the on-chip
+// persistent state (version RAM, stored tags, the hash-tree root) must let
+// a device resume verifying a window after every *volatile* cache is
+// dropped mid-run — zero false integrity faults on clean data, undiminished
+// tamper detection after the drop. Quantified property-style over seeds
+// and all three auth schemes, at the engine level and through the update
+// agent's power_cycle().
+
+#include "common/rng.hpp"
+#include "crypto/rsa.hpp"
+#include "engine/bus_encryption_engine.hpp"
+#include "engine/cipher_backend.hpp"
+#include "engine/keyslot_manager.hpp"
+#include "engine/memory_authenticator.hpp"
+#include "keymgmt/session.hpp"
+#include "sim/bus.hpp"
+#include "sim/dram.hpp"
+#include "sim/fault_injector.hpp"
+#include "update/lifetime.hpp"
+#include "update/update_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace buscrypt {
+namespace {
+
+constexpr addr_t k_window = 32 * 1024;
+constexpr addr_t k_tag_base = 1u << 20;
+constexpr std::size_t k_unit = 32;
+
+struct scheme {
+  engine::auth_mode mode;
+  const char* backend; ///< AREA needs block diffusion
+};
+constexpr scheme k_schemes[] = {{engine::auth_mode::mac, "aes-ctr"},
+                                {engine::auth_mode::area, "aes-ecb"},
+                                {engine::auth_mode::hash_tree, "aes-ctr"}};
+
+struct rig {
+  sim::dram chip{4u << 20};
+  sim::external_memory ext{chip};
+  engine::keyslot_manager slots{engine::backend_registry::builtin(), 4};
+  engine::bus_encryption_engine eng{ext, slots};
+  engine::bus_encryption_engine::context_id ctx;
+
+  rig(const scheme& s, u64 seed) {
+    rng r(seed ^ 0xA0117ULL);
+    ctx = eng.create_context({s.backend, r.random_bytes(16), k_unit});
+    eng.map_region(0, 1u << 20, ctx);
+    engine::auth_config a;
+    a.mode = s.mode;
+    a.key = r.random_bytes(16);
+    a.base = 0;
+    a.limit = k_window;
+    a.tag_base = k_tag_base;
+    (void)eng.attach_auth(ctx, a);
+  }
+
+  [[nodiscard]] u64 faults() const { return eng.stats().integrity_faults; }
+};
+
+TEST(UpdateRecovery, CacheDropMidRunCausesNoFalseFaults) {
+  for (const scheme& s : k_schemes)
+    for (u64 seed = 1; seed <= 3; ++seed) {
+      rig rg(s, seed);
+      rng r(seed * 7919);
+      // Seeded write pattern: aligned units, some overwritten (version
+      // bumps) — the state the tag cache / version RAM / root must carry.
+      std::map<addr_t, bytes> truth;
+      for (int i = 0; i < 48; ++i) {
+        const addr_t at = r.below(k_window / k_unit) * k_unit;
+        bytes unit = r.random_bytes(k_unit);
+        (void)rg.eng.write(at, unit);
+        truth[at] = std::move(unit);
+      }
+      ASSERT_EQ(rg.faults(), 0u) << s.backend << " seed " << seed;
+
+      // Power-cycle analogue: every volatile authenticator structure gone;
+      // stored tags, on-chip versions and the tree root persist.
+      rg.eng.auth_of(rg.ctx)->drop_caches();
+
+      bytes buf(k_unit);
+      for (const auto& [at, unit] : truth) {
+        (void)rg.eng.read(at, buf);
+        EXPECT_EQ(buf, unit) << engine::auth_mode_name(s.mode) << " @" << at;
+      }
+      EXPECT_EQ(rg.faults(), 0u)
+          << engine::auth_mode_name(s.mode) << " seed " << seed
+          << ": false faults after cache drop";
+    }
+}
+
+TEST(UpdateRecovery, TamperDetectionSurvivesTheCacheDrop) {
+  for (const scheme& s : k_schemes)
+    for (u64 seed = 1; seed <= 3; ++seed) {
+      rig rg(s, seed);
+      rng r(seed * 104729);
+      const addr_t at = r.below(k_window / k_unit) * k_unit;
+      (void)rg.eng.write(at, r.random_bytes(k_unit));
+      rg.eng.auth_of(rg.ctx)->drop_caches();
+
+      // The attacker edits external memory while the caches are cold.
+      const addr_t hit = at + r.below(k_unit);
+      rg.chip.raw()[hit] ^= static_cast<u8>(1u << r.below(8));
+
+      bytes buf(k_unit);
+      const u64 before = rg.faults();
+      (void)rg.eng.read(at, buf);
+      EXPECT_GT(rg.faults(), before)
+          << engine::auth_mode_name(s.mode) << " seed " << seed;
+    }
+}
+
+TEST(UpdateRecovery, HashTreeRootOutlivesTheDroppedNodeCache) {
+  rig rg({engine::auth_mode::hash_tree, "aes-ctr"}, 5);
+  rng r(55);
+  const addr_t at = 4 * k_unit;
+  (void)rg.eng.write(at, r.random_bytes(k_unit));
+  rg.eng.auth_of(rg.ctx)->drop_caches();
+
+  // Flip a stored node that the cold walk must consume: the verify path
+  // recomputes the leaf for `at` from data, so tamper its level-0 sibling
+  // (arity 2, 8-byte tags → leaf 5 lives at tag_base + 5*8). A cached-root
+  // design would have lost the trusted anchor with the cache; the on-chip
+  // root must still catch the poisoned sibling.
+  rg.chip.raw()[k_tag_base + 5 * 8] ^= 0x01;
+  bytes buf(k_unit);
+  const u64 before = rg.faults();
+  (void)rg.eng.read(at, buf);
+  EXPECT_GT(rg.faults(), before);
+}
+
+TEST(UpdateRecovery, AgentPowerCycleKeepsEverySchemeBootable) {
+  for (const scheme& s : k_schemes)
+    for (u64 seed = 1; seed <= 2; ++seed) {
+      rng r(seed ^ 0xB007ULL);
+      const crypto::rsa_keypair keys = crypto::rsa_generate(r, 256);
+      sim::dram chip(64u << 10);
+      sim::external_memory ext(chip);
+      sim::fault_injector fi(ext);
+      engine::keyslot_manager slots(engine::backend_registry::builtin(), 4);
+      engine::bus_encryption_engine eng(fi, slots);
+
+      update::update_config cfg;
+      cfg.slot_base_a = 0;
+      cfg.slot_base_b = 4u << 10;
+      cfg.slot_bytes = 4u << 10;
+      cfg.staging_base = 8u << 10;
+      cfg.auth = s.mode;
+      cfg.tag_base_a = 16u << 10;
+      cfg.tag_base_b = 24u << 10;
+      cfg.tag_base_staging = 32u << 10;
+      cfg.backend = s.backend;
+      cfg.chunk_bytes = 512;
+      cfg.device_key = update::backend_device_key(s.backend, seed);
+      update::update_agent agent(eng, fi, keys.priv, cfg);
+
+      const bytes v1 = r.random_bytes(cfg.slot_bytes);
+      agent.provision(v1, 1);
+
+      bytes buf(512);
+      for (int i = 0; i < 6; ++i)
+        (void)eng.read(r.below(cfg.slot_bytes / 512) * 512, buf);
+      const u64 before = eng.stats().integrity_faults;
+
+      agent.power_cycle();
+      const update::update_report rep = agent.recover();
+      EXPECT_EQ(rep.status, update::update_status::none_pending)
+          << engine::auth_mode_name(s.mode);
+      EXPECT_EQ(agent.version(), 1u);
+      EXPECT_EQ(agent.active_image(), v1) << engine::auth_mode_name(s.mode);
+
+      // Re-read through the authenticated path: zero new faults.
+      for (int i = 0; i < 6; ++i)
+        (void)eng.read(r.below(cfg.slot_bytes / 512) * 512, buf);
+      EXPECT_EQ(eng.stats().integrity_faults, before)
+          << engine::auth_mode_name(s.mode) << " seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace buscrypt
