@@ -627,6 +627,12 @@ void memory_authenticator::drop_caches() noexcept {
   tag_cache_fifo_.clear();
   node_cache_.clear();
   node_cache_fifo_.clear();
+  // A power cut can unwind the engine's submit() mid-flush, before
+  // batch_flush_done() retires the forwarding window. The window is
+  // volatile state: left set, a perfectly legitimate post-boot reseal
+  // would trip the open-batch guard forever.
+  staged_tags_.clear();
+  batch_open_ = false;
 }
 
 bytes* memory_authenticator::area_sideband(addr_t unit_addr) noexcept {

@@ -259,8 +259,9 @@ class memory_authenticator {
 
   // --- device lifecycle / attack-suite hooks -------------------------------
 
-  /// Power cycle: the volatile on-chip caches vanish; versions and the
-  /// tree root survive (the design keeps them in on-chip NVM) — which is
+  /// Power cycle: the volatile on-chip caches vanish — including any batch
+  /// forwarding window a cut left open mid-flush — while versions and the
+  /// tree root survive (the design keeps them in on-chip NVM), which is
   /// exactly why replay fails even across a reset.
   void drop_caches() noexcept;
 

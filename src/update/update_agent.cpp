@@ -96,11 +96,11 @@ bytes update_journal::record_mac(std::span<const u8> body) const {
   return crypto::hmac_sha256_tag(key_, body, 8);
 }
 
-void update_journal::append(update_state st, u8 slot, u64 version, u64 image_bytes,
-                            sim::fault_injector& fi) {
+bytes update_journal::encode_record(u64 seq, update_state st, u8 slot, u64 version,
+                                    u64 image_bytes) const {
   bytes rec;
   rec.reserve(k_record_bytes);
-  put_le64(rec, static_cast<u64>(records() + 1)); // seq
+  put_le64(rec, seq);
   rec.push_back(static_cast<u8>(st));
   rec.push_back(slot);
   put_le64(rec, version);
@@ -108,12 +108,30 @@ void update_journal::append(update_state st, u8 slot, u64 version, u64 image_byt
   const bytes mac = record_mac(rec);
   rec.insert(rec.end(), mac.begin(), mac.end());
   rec.resize(k_record_bytes, 0);
+  return rec;
+}
+
+void update_journal::append(update_state st, u8 slot, u64 version, u64 image_bytes,
+                            sim::fault_injector& fi) {
+  const bytes rec = encode_record(records() + 1, st, slot, version, image_bytes);
 
   // The cell is claimed first, then written through the fault path: a cut
   // mid-record leaves a torn cell in place, exactly like real NVM.
   const std::size_t off = store_.size();
   store_.resize(off + k_record_bytes, 0);
   fi.nvm_write(std::span<u8>(store_).subspan(off, k_record_bytes), rec);
+}
+
+void update_journal::neutralize_torn_tail(sim::fault_injector& fi) {
+  const std::size_t n = records();
+  if (n == 0 || entries().back().valid) return;
+  // Same seq the torn append claimed (1-based cell index): the chain stays
+  // gapless, and only the journal-key holder can mint this marker.
+  const bytes rec = encode_record(static_cast<u64>(n), update_state::torn,
+                                  /*slot=*/0, /*version=*/0, /*image_bytes=*/0);
+  fi.nvm_write(std::span<u8>(store_).subspan((n - 1) * k_record_bytes,
+                                             k_record_bytes),
+               rec);
 }
 
 std::vector<update_journal::entry> update_journal::entries() const {
@@ -128,7 +146,7 @@ std::vector<update_journal::entry> update_journal::entries() const {
     e.slot = rec[9];
     e.version = get_le64(rec.subspan(10));
     e.image_bytes = get_le64(rec.subspan(18));
-    e.valid = rec[8] <= static_cast<u8>(update_state::rolled_back) &&
+    e.valid = rec[8] <= static_cast<u8>(update_state::torn) &&
               crypto::tag_equal(record_mac(rec.first(26)), rec.subspan(26, 8));
     out.push_back(e);
   }
@@ -144,7 +162,7 @@ bool update_journal::tampered() const {
 std::optional<update_journal::entry> update_journal::last_valid() const {
   std::optional<entry> best;
   for (const entry& e : entries())
-    if (e.valid) best = e;
+    if (e.valid && e.state != update_state::torn) best = e;
   return best;
 }
 
@@ -433,6 +451,13 @@ update_report update_agent::recover(const update_package* pkg) {
     return rep;
   }
 
+  // The torn tail is a classified crash signature now: acknowledge it in
+  // place (rewrite as a MAC'd `torn` marker) before anything is appended
+  // past it. Left raw, the invalid cell would become interior once the
+  // resume/rollback below journals, and every later recovery would read
+  // it as tampering — a benign power cut turned permanent fail-stop.
+  if (torn_tail) journal_.neutralize_torn_tail(*fi_);
+
   const auto last = journal_.last_valid();
   const bool pending =
       last && (last->state == update_state::staged ||
@@ -440,7 +465,10 @@ update_report update_agent::recover(const update_package* pkg) {
                last->state == update_state::installed) &&
       last->version > version_;
 
-  if (pkg != nullptr && pkg->version > version_ &&
+  // A never-provisioned device has nothing to resume or restart into —
+  // without the guard the no-pending branch below would call apply(),
+  // which throws instead of reporting.
+  if (provisioned_ && pkg != nullptr && pkg->version > version_ &&
       (!pending || pkg->version == last->version)) {
     // The updater daemon re-offers the package: resume. The session key
     // did not survive the cut, so unwrap it again; the staged copy sat in

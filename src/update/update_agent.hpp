@@ -54,6 +54,10 @@ enum class update_state : u8 {
   installed,   ///< every chunk written; readback verify passed
   committed,   ///< the new slot is the boot slot (atomic point)
   rolled_back, ///< update abandoned; the old slot remains the boot slot
+  torn,        ///< recovery's acknowledgement of a torn tail cell: the
+               ///< crash-garbage record, rewritten in place under the
+               ///< journal MAC so it can become interior without ever
+               ///< reading as tampering
 };
 
 [[nodiscard]] constexpr std::string_view update_state_name(update_state s) noexcept {
@@ -64,6 +68,7 @@ enum class update_state : u8 {
     case update_state::installed: return "installed";
     case update_state::committed: return "committed";
     case update_state::rolled_back: return "rolled-back";
+    case update_state::torn: return "torn";
   }
   return "?";
 }
@@ -160,13 +165,24 @@ class update_journal {
   void append(update_state st, u8 slot, u64 version, u64 image_bytes,
               sim::fault_injector& fi);
 
+  /// Rewrite an invalid *last* cell in place as a MAC'd `torn` marker.
+  /// Recovery calls this once it has classified the torn tail as a crash
+  /// signature, *before* appending anything past it — otherwise the
+  /// invalid cell would become interior and read as tampering on every
+  /// later recovery. No-op when the last cell is valid (or empty). The
+  /// rewrite itself rides \p fi's NVM path: a cut mid-neutralisation
+  /// leaves the cell invalid-and-last, so the next recovery just redoes it.
+  void neutralize_torn_tail(sim::fault_injector& fi);
+
   /// Every stored cell, decoded, in append order (torn cells invalid).
   [[nodiscard]] std::vector<entry> entries() const;
 
   /// Any cell failing its MAC — torn write or active tamper.
   [[nodiscard]] bool tampered() const;
 
-  /// The newest valid record, or nothing (pre-provisioning).
+  /// The newest valid *protocol* record, or nothing (pre-provisioning).
+  /// `torn` acknowledgement markers are skipped: they record that a cell
+  /// was crash garbage, not a lifecycle step.
   [[nodiscard]] std::optional<entry> last_valid() const;
 
   /// The newest valid `committed` record — what boot trusts.
@@ -183,6 +199,8 @@ class update_journal {
 
  private:
   [[nodiscard]] bytes record_mac(std::span<const u8> body) const;
+  [[nodiscard]] bytes encode_record(u64 seq, update_state st, u8 slot, u64 version,
+                                    u64 image_bytes) const;
 
   bytes key_;
   bytes store_; ///< on-chip NVM: survives power cycles

@@ -619,5 +619,20 @@ TEST(AuthSealGuard, SealDuringAnOpenBatchFlushWindowThrows) {
   EXPECT_NO_THROW(r.auth().seal_from_memory());
 }
 
+TEST(AuthSealGuard, PowerCycleReleasesAWindowLeftOpenByACut) {
+  // Regression: a power cut unwinding submit() mid-flush skips
+  // batch_flush_done(), so the window flag stuck across the reboot and a
+  // legitimate post-recovery reseal fail-stopped a healthy device.
+  // drop_caches() models the power cycle and must clear the volatile
+  // forwarding state with the rest of the caches.
+  rig r("aes-ctr", auth_mode::mac);
+  (void)r.eng.write(0, bytes(32, 0x11));
+  (void)r.auth().batch_prepare_verify(0);
+  EXPECT_TRUE(r.auth().batch_open());
+  r.auth().drop_caches();
+  EXPECT_FALSE(r.auth().batch_open());
+  EXPECT_NO_THROW(r.auth().seal_from_memory());
+}
+
 } // namespace
 } // namespace buscrypt::engine

@@ -263,6 +263,80 @@ TEST(Update, StallsBeyondTheRetryBudgetAbortToTheOldImage) {
   EXPECT_TRUE(lr.downgrade_blocked);
 }
 
+TEST(Update, TornTailIsNeutralizedNotEscalatedToTamper) {
+  // Regression: recovery appends records past the torn cell (rollback
+  // here), making it interior. Without the in-place `torn` acknowledgement
+  // every later recovery would misread the benign crash signature as
+  // tampering and fail-stop the device forever.
+  rig rg;
+  sim::fault_plan plan;
+  plan.point = sim::fault_point::journal;
+  plan.trigger = 2; // tear the `installed` record mid-write
+  rg.fi.arm(plan);
+  EXPECT_THROW((void)rg.agent.apply(rg.up), sim::power_cut);
+  rg.agent.power_cycle();
+  rg.fi.disarm();
+  EXPECT_EQ(rg.agent.recover(nullptr).status, update_status::rolled_back);
+
+  // The journal chain reads clean: the torn cell was re-MAC'd as `torn`.
+  EXPECT_FALSE(rg.agent.journal().tampered());
+  const auto es = rg.agent.journal().entries();
+  EXPECT_EQ(es[3].state, update_state::torn);
+  EXPECT_EQ(es[3].seq, 4u);
+
+  // Later crash recoveries keep working instead of reporting tampering.
+  rg.agent.power_cycle();
+  EXPECT_EQ(rg.agent.recover(nullptr).status, update_status::none_pending);
+  EXPECT_EQ(rg.agent.version(), 1u);
+  EXPECT_EQ(rg.agent.active_image(), rg.v1);
+
+  // And the device still takes the update afterwards.
+  EXPECT_EQ(rg.agent.apply(rg.up).status, update_status::committed);
+  EXPECT_EQ(rg.agent.active_image(), rg.v2);
+  rg.agent.power_cycle();
+  EXPECT_EQ(rg.agent.recover(nullptr).status, update_status::none_pending);
+}
+
+TEST(Update, ResumePastATornTailLeavesACleanJournal) {
+  rig rg;
+  sim::fault_plan plan;
+  plan.point = sim::fault_point::journal;
+  plan.trigger = 2; // tear the `installed` record; `staged` is intact
+  rg.fi.arm(plan);
+  EXPECT_THROW((void)rg.agent.apply(rg.up), sim::power_cut);
+  rg.agent.power_cycle();
+  rg.fi.disarm();
+  // The daemon re-offers the package: the torn marker must stay invisible
+  // to the pending-update detection (the intact `staged` record drives it).
+  EXPECT_EQ(rg.agent.recover(&rg.up).status, update_status::resumed);
+  EXPECT_EQ(rg.agent.version(), 2u);
+  EXPECT_EQ(rg.agent.active_image(), rg.v2);
+  EXPECT_FALSE(rg.agent.journal().tampered());
+  rg.agent.power_cycle();
+  EXPECT_EQ(rg.agent.recover(nullptr).status, update_status::none_pending);
+  EXPECT_EQ(rg.agent.version(), 2u);
+}
+
+TEST(Update, RecoverBeforeProvisioningReportsInsteadOfThrowing) {
+  // Regression: recover(pkg) on a factory-fresh device (empty journal,
+  // pkg version > 0) fell through to apply(), which throws — an exception
+  // escape from a path documented to return a report.
+  rng r{1};
+  crypto::rsa_keypair keys = crypto::rsa_generate(r, 256);
+  keymgmt::insecure_channel net;
+  sim::dram chip{64u << 10};
+  sim::external_memory ext{chip};
+  sim::fault_injector fi{ext};
+  engine::keyslot_manager slots{engine::backend_registry::builtin(), 4};
+  engine::bus_encryption_engine eng{fi, slots};
+  update::update_agent agent(eng, fi, keys.priv, test_cfg());
+  const bytes img = rng(2).random_bytes(k_image);
+  const update::update_package up =
+      update::make_update_package(img, 1, keys.pub, net, r, k_chunk);
+  EXPECT_EQ(agent.recover(&up).status, update_status::none_pending);
+  EXPECT_EQ(agent.recover(nullptr).status, update_status::none_pending);
+}
+
 TEST(Update, MidChainJournalTamperFailStops) {
   rig rg;
   (void)rg.agent.apply(rg.up);
